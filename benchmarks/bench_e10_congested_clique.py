@@ -1,0 +1,27 @@
+"""E10 — §1.3: the congested-clique implication via BDH18.
+
+Claim: the near-linear MPC algorithm translates to the congested clique
+with constant-factor round overhead, giving O(log log d̄) CC rounds for
+(2+ε)-approximate MWVC.  The bench reports the measured translation factor
+(``LENZEN_ROUNDS · ⌈S/n⌉``, a constant independent of n) and the resulting
+CC round counts over an n sweep.
+"""
+
+from benchmarks.conftest import register_table
+from repro.analysis.experiments import experiment_congested_clique
+
+
+def test_e10_congested_clique(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiment_congested_clique(
+            ns=(500, 1000, 2000), avg_degree=24.0, eps=0.1, seed=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    register_table("E10: congested-clique translation (BDH18 adapter)", rows)
+
+    factors = {r["cc_per_mpc"] for r in rows}
+    assert len(factors) == 1, "translation factor must be constant in n"
+    for r in rows:
+        assert r["cc_rounds"] == r["mpc_rounds"] * r["cc_per_mpc"]

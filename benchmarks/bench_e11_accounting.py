@@ -1,0 +1,28 @@
+"""E11 — cross-engine audit: predicted rounds == measured rounds.
+
+The vectorized engine *predicts* MPC round costs from the accounting model;
+the cluster engine *measures* them by exchanging real messages under
+capacity enforcement.  The claim this bench certifies: the two agree
+exactly (same covers, same duals, same per-phase and total round counts) —
+so the fast engine's numbers reported by every other bench are the model's
+true costs, and global memory stays within Lemma 4.1's O(|E|).
+"""
+
+from benchmarks.conftest import register_table
+from repro.analysis.experiments import experiment_engine_agreement
+
+
+def test_e11_engine_agreement(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiment_engine_agreement(
+            ns=(200, 400), degrees=(12.0, 24.0), eps=0.1, seed=11
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    register_table("E11: vectorized-predicted vs cluster-measured rounds", rows)
+
+    for r in rows:
+        assert r["covers_equal"], f"engine covers diverged: {r}"
+        assert r["duals_close"], f"engine duals diverged: {r}"
+        assert r["rounds_equal"], f"round prediction mismatch: {r}"

@@ -1,0 +1,37 @@
+"""E2 — Theorem 4.7 / Proposition 3.3: w(C) ≤ (2 + 30ε)·OPT.
+
+Claim: the cover weight stays within ``2 + 30ε`` of the optimum, for every
+ε and weight model.  Measured three ways per configuration:
+
+* against exact OPT (branch & bound) on small instances,
+* against the LP relaxation (≤ OPT) on medium instances,
+* against the run's own dual certificate (sound at every scale).
+
+The bench asserts the bound for the first two (real ratios) — certified
+ratios are looser by construction (the certificate divides by the dual
+value, which sits below LP) and are reported for reference.
+"""
+
+from benchmarks.conftest import register_table
+from repro.analysis.experiments import experiment_approximation
+
+
+def test_e2_approximation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiment_approximation(
+            eps_values=(0.05, 0.1, 0.2),
+            weight_models=("uniform", "exponential", "adversarial"),
+            n_small=40,
+            n_medium=1200,
+            trials=3,
+            seed=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    register_table("E2: approximation ratios (Theorem 4.7 bound = 2 + 30ε)", rows)
+
+    for r in rows:
+        assert r["within_bound"], f"ratio exceeded 2+30ε for {r}"
+        assert r["ratio_vs_exact"] >= 1.0 - 1e-9
+        assert r["ratio_vs_lp"] >= 1.0 - 1e-9

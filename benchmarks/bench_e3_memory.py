@@ -1,0 +1,25 @@
+"""E3 — Lemma 4.1: per-machine induced subgraphs hold O(n) edges.
+
+Claim: with ``m = √d̄`` machines, every machine's induced subgraph has
+``|E[V_i]| ≤ 2n`` w.h.p., independent of the degree.  The bench sweeps the
+degree at fixed n and reports the worst ``|E[V_i]|/n`` over all machines
+and phases; the assertion is the lemma's constant 2.
+"""
+
+from benchmarks.conftest import register_table
+from repro.analysis.experiments import experiment_memory
+
+
+def test_e3_memory(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiment_memory(
+            n=4000, degrees=(32.0, 128.0, 512.0), eps=0.1, trials=3, seed=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    register_table("E3: max per-machine induced edges / n (Lemma 4.1 bound = 2)", rows)
+
+    for r in rows:
+        assert r["within_bound"], f"Lemma 4.1 violated: {r}"
+        assert r["max_machine_edges_over_n"] > 0

@@ -1,0 +1,48 @@
+"""E4 — Observation 4.3 + Lemma 4.4: per-phase degree reduction.
+
+Claims, per phase:
+
+* (Obs 4.3, deterministic) every vertex surviving the safety freeze has
+  active out-degree ≤ ``d(v)·(1-ε)^I`` under the ``w'/d`` orientation;
+* (Lemma 4.4, w.h.p.) the edges surviving the phase number at most
+  ``2·n·d̄·(1-ε)^I``.
+
+The bench runs traced executions on G(n,p) and power-law inputs and reports
+the measured/bound ratios for every phase; both must be ≤ 1.
+"""
+
+from benchmarks.conftest import register_table
+from repro.analysis.experiments import experiment_degree_reduction
+
+_COLUMNS = [
+    "family",
+    "phase_index",
+    "iterations",
+    "num_high",
+    "num_edges_high",
+    "max_active_out_degree",
+    "max_out_degree_bound_ratio",
+    "surviving_edges",
+    "lemma44_bound",
+    "lemma44_ratio",
+]
+
+
+def test_e4_degree_reduction(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiment_degree_reduction(
+            n=4000, avg_degree=64.0, families=("gnp", "power_law"), eps=0.1, seed=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    register_table(
+        "E4: orientation progress (Obs 4.3 ratio ≤ 1; Lemma 4.4 ratio ≤ 1)",
+        rows,
+        columns=_COLUMNS,
+    )
+
+    assert rows
+    for r in rows:
+        assert r["max_out_degree_bound_ratio"] <= 1.0 + 1e-9, f"Obs 4.3 violated: {r}"
+        assert r["lemma44_ratio"] <= 1.0, f"Lemma 4.4 violated: {r}"

@@ -1,0 +1,52 @@
+"""E8 — the motivation: unweighted (GGK+18-style) covers on weighted inputs.
+
+Claim (introduction): the pre-existing O(log log n) MPC algorithm handles
+only cardinality vertex cover; on weighted instances a cardinality-driven
+cover can be arbitrarily more expensive.  The bench compares the true cost
+of the weight-blind cover against the weighted algorithm's on three weight
+models, plus the adversarial heavy-hub star where the gap is unbounded.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import register_table
+from repro.analysis.experiments import experiment_weighted_vs_unweighted
+from repro.baselines.ggk_unweighted import unweighted_mpc_vertex_cover
+from repro.core.mpc_mwvc import minimum_weight_vertex_cover
+from repro.graphs.generators import star
+
+
+def test_e8_weighted_vs_unweighted(benchmark):
+    def run():
+        rows = experiment_weighted_vs_unweighted(
+            n=2000,
+            avg_degree=24.0,
+            weight_models=("uniform", "adversarial", "degree_correlated"),
+            eps=0.1,
+            trials=3,
+            seed=8,
+        )
+        # The unbounded-gap construction: heavy hub, light leaves.
+        g = star(400)
+        w = np.ones(400)
+        w[0] = 10_000.0
+        g = g.with_weights(w)
+        ggk = unweighted_mpc_vertex_cover(g, eps=0.05, seed=9)
+        ours = minimum_weight_vertex_cover(g, eps=0.05, seed=9)
+        rows.append(
+            {
+                "weights": "heavy-hub star",
+                "unweighted_over_weighted_mean": ggk.true_weight / ours.cover_weight,
+                "unweighted_over_weighted_max": ggk.true_weight / ours.cover_weight,
+                "weighted_wins": True,
+            }
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    register_table("E8: cost of ignoring weights (GGK-style baseline)", rows)
+
+    hub = [r for r in rows if r["weights"] == "heavy-hub star"]
+    assert hub and hub[0]["unweighted_over_weighted_mean"] > 10.0
+    adv = [r for r in rows if r["weights"] == "adversarial"]
+    assert adv and adv[0]["unweighted_over_weighted_mean"] > 1.1

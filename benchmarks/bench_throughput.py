@@ -1,0 +1,66 @@
+"""Kernel throughput: raw speed of the building blocks.
+
+Not a paper claim — engineering numbers for users sizing their runs:
+
+* ``incident_sums`` (the dual-load primitive, two bincounts),
+* one compressed phase (plan + simulate + apply),
+* a full centralized run,
+* a full MPC run,
+
+all on a 200k-edge G(n,p) workload.  These use pytest-benchmark's normal
+multi-round timing (they are true microkernels/kernels, unlike the
+experiment benches).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.centralized import run_centralized
+from repro.core.mpc_mwvc import minimum_weight_vertex_cover
+from repro.core.params import MPCParameters
+from repro.core.phase_kernel import (
+    GlobalState,
+    apply_outcome,
+    plan_phase,
+    simulate_phase_vectorized,
+)
+from repro.graphs.generators import gnp_average_degree
+from repro.graphs.weights import uniform_weights
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = gnp_average_degree(10_000, 40.0, seed=77)
+    return g.with_weights(uniform_weights(g.n, seed=78))
+
+
+def test_kernel_incident_sums(benchmark, workload):
+    x = np.random.default_rng(0).random(workload.m)
+    out = benchmark(workload.incident_sums, x)
+    assert out.shape == (workload.n,)
+
+
+def test_kernel_single_phase(benchmark, workload):
+    params = MPCParameters(eps=0.1)
+
+    def one_phase():
+        state = GlobalState.initial(workload, workload.weights)
+        plan = plan_phase(
+            workload, state, params, phase_index=0, partition_seed=1, threshold_seed=2
+        )
+        outcome = simulate_phase_vectorized(plan, params)
+        apply_outcome(workload, workload.weights, state, plan, outcome)
+        return state
+
+    state = benchmark(one_phase)
+    assert state.frozen.any()
+
+
+def test_kernel_centralized_run(benchmark, workload):
+    res = benchmark(lambda: run_centralized(workload, eps=0.1, seed=3))
+    assert workload.is_vertex_cover(res.in_cover)
+
+
+def test_kernel_full_mpc_run(benchmark, workload):
+    res = benchmark(lambda: minimum_weight_vertex_cover(workload, eps=0.1, seed=4))
+    assert res.verify(workload)

@@ -1,0 +1,37 @@
+"""Benchmark-suite plumbing.
+
+Every bench computes one experiment's rows (DESIGN.md §5), asserts the
+paper's shape claim on them, registers the rendered table via
+:func:`register_table`, and times the computation with
+``benchmark.pedantic(..., rounds=1)`` (experiments are full workloads, not
+microkernels — one timed execution is the meaningful number; the throughput
+bench uses normal multi-round timing for the actual kernels).
+
+All registered tables are printed in the terminal summary, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures the
+reproduced tables alongside pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import render_table
+
+_TABLES: List[str] = []
+
+
+def register_table(title: str, rows, columns: Optional[Sequence[str]] = None) -> None:
+    """Queue a rendered experiment table for the terminal summary."""
+    _TABLES.append(render_table(rows, title=title, columns=columns))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.section("Reproduced experiment tables (paper-claim vs measured)")
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

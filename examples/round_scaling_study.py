@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Study: how the round count scales — the paper's headline in miniature.
+
+Sweeps the average degree over two orders of magnitude and prints, side by
+side:
+
+* Algorithm 2's compressed phases and total MPC rounds (O(log log d̄));
+* the per-phase degree-decay exponent (d̄ -> d̄^c, the loglog mechanism);
+* the pre-paper baseline's rounds (Algorithm 1, one LOCAL iteration per
+  round — Θ(log Δ / ε));
+
+then repeats the comparison at a smaller ε, where the baseline's 1/ε cost
+makes the compression win outright in absolute rounds.
+
+Run:  python examples/round_scaling_study.py
+"""
+
+import math
+
+from repro import minimum_weight_vertex_cover
+from repro.analysis import render_table
+from repro.baselines import local_round_by_round
+from repro.graphs import gnp_average_degree, uniform_weights
+
+
+def sweep(eps: float, n: int = 8_000) -> list[dict]:
+    rows = []
+    for d in (8.0, 32.0, 128.0, 512.0):
+        g = gnp_average_degree(n, d, seed=int(d))
+        g = g.with_weights(uniform_weights(g.n, seed=int(d) + 1))
+        ours = minimum_weight_vertex_cover(g, eps=eps, seed=30)
+        base = local_round_by_round(g, eps=eps, seed=30)
+        decay = float("nan")
+        if ours.phases:
+            p0 = ours.phases[0]
+            if p0.avg_degree > 3 and p0.avg_degree_after > 1:
+                decay = math.log(p0.avg_degree_after) / math.log(p0.avg_degree)
+        rows.append(
+            {
+                "avg_degree": d,
+                "loglog_d": round(math.log(math.log(d)), 3),
+                "phases": ours.num_phases,
+                "our_rounds": ours.mpc_rounds,
+                "decay_exponent": decay,
+                "baseline_rounds": base.mpc_rounds,
+                "weight_vs_baseline": round(ours.cover_weight / base.cover_weight, 4),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    for eps in (0.1, 0.05):
+        rows = sweep(eps)
+        print(render_table(rows, title=f"round scaling at ε = {eps} (n = 8000)"))
+        print()
+    print(
+        "reading: phases stay flat while the baseline grows with log Δ and\n"
+        "1/ε; each phase maps d̄ -> d̄^c with c ≈ 0.5-0.6 — the double-\n"
+        "exponential decay behind Theorem 1.1's O(log log d̄)."
+    )
+
+
+if __name__ == "__main__":
+    main()

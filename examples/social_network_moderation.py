@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Scenario: content moderation on a social network.
+
+Every edge is an interaction channel that must be monitored by at least one
+of its endpoints ("one of the two accounts needs a moderator assigned") —
+exactly a vertex cover.  Accounts differ wildly in *moderation cost*
+(language coverage, legal exposure, appeal volume — spanning orders of
+magnitude, and uncorrelated with how connected the account is), so
+minimizing the cardinality of the moderated set (the unweighted objective)
+routinely buys expensive accounts when a cheap neighbor would do.
+
+This example builds a power-law interaction graph with 4-decade
+log-uniform costs, then compares:
+
+* the paper's weighted MPC algorithm,
+* the unweighted (GGK+18-style) MPC algorithm, which ignores costs,
+* the sequential Bar-Yehuda–Even 2-approximation (quality reference),
+* the greedy cost-effectiveness heuristic.
+
+Run:  python examples/social_network_moderation.py
+"""
+
+from repro import minimum_weight_vertex_cover
+from repro.analysis import render_table
+from repro.baselines import (
+    greedy_vertex_cover,
+    pricing_vertex_cover,
+    unweighted_mpc_vertex_cover,
+)
+from repro.graphs import adversarial_spread_weights, power_law
+
+
+def main() -> None:
+    # A 20k-account network with a heavy-tailed interaction distribution;
+    # moderation costs are log-uniform over four orders of magnitude.
+    graph = power_law(20_000, exponent=2.3, min_degree=2, seed=10)
+    graph = graph.with_weights(
+        adversarial_spread_weights(graph.n, orders_of_magnitude=4.0, seed=11)
+    )
+    print(f"interaction graph: {graph}")
+    print(f"max account degree: {graph.max_degree}")
+    print(f"cost spread: {graph.weights.max() / graph.weights.min():.0f}x\n")
+
+    ours = minimum_weight_vertex_cover(graph, eps=0.05, seed=12)
+    ggk = unweighted_mpc_vertex_cover(graph, eps=0.05, seed=12)
+    seq = pricing_vertex_cover(graph, order="heavy_first")
+    grd = greedy_vertex_cover(graph)
+
+    rows = [
+        {
+            "method": "weighted MPC (this paper)",
+            "accounts": ours.cover_size(),
+            "total_cost": ours.cover_weight,
+            "mpc_rounds": ours.mpc_rounds,
+            "cost_vs_ours": 1.0,
+        },
+        {
+            "method": "unweighted MPC (GGK-style)",
+            "accounts": ggk.cover_size,
+            "total_cost": ggk.true_weight,
+            "mpc_rounds": ggk.mpc_rounds,
+            "cost_vs_ours": ggk.true_weight / ours.cover_weight,
+        },
+        {
+            "method": "sequential pricing (BYE81)",
+            "accounts": int(seq.in_cover.sum()),
+            "total_cost": seq.cover_weight,
+            "mpc_rounds": "n/a (sequential)",
+            "cost_vs_ours": seq.cover_weight / ours.cover_weight,
+        },
+        {
+            "method": "greedy cost-effectiveness",
+            "accounts": int(grd.in_cover.sum()),
+            "total_cost": grd.cover_weight,
+            "mpc_rounds": "n/a (sequential)",
+            "cost_vs_ours": grd.cover_weight / ours.cover_weight,
+        },
+    ]
+    print(render_table(rows, title="moderation staffing cost by method"))
+
+    cert = ours.certificate
+    print(
+        f"\ncertificate: any staffing plan costs ≥ {cert.opt_lower_bound:.0f}; "
+        f"ours costs {cert.cover_weight:.0f} "
+        f"(≤ {cert.certified_ratio:.2f}× optimal, guaranteed)"
+    )
+    assert ours.verify(graph)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments lacking the ``wheel``
+package (pip falls back to ``setup.py develop`` for legacy editable
+installs).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Experiment harness: workload construction, runners E1–E11, tables, stats."""
+
+from repro.analysis.experiments import (
+    experiment_ablations,
+    experiment_approximation,
+    experiment_centralized_iterations,
+    experiment_congested_clique,
+    experiment_degree_reduction,
+    experiment_deviation,
+    experiment_engine_agreement,
+    experiment_memory,
+    experiment_round_complexity,
+    experiment_vs_local_baseline,
+    experiment_weighted_vs_unweighted,
+    make_workload,
+)
+from repro.analysis.stats import TrialSummary, geometric_mean, summarize
+from repro.analysis.tables import format_cell, render_table
+
+__all__ = [
+    "make_workload",
+    "experiment_round_complexity",
+    "experiment_approximation",
+    "experiment_memory",
+    "experiment_degree_reduction",
+    "experiment_centralized_iterations",
+    "experiment_deviation",
+    "experiment_vs_local_baseline",
+    "experiment_weighted_vs_unweighted",
+    "experiment_ablations",
+    "experiment_congested_clique",
+    "experiment_engine_agreement",
+    "render_table",
+    "format_cell",
+    "summarize",
+    "geometric_mean",
+    "TrialSummary",
+]

@@ -1,0 +1,69 @@
+"""Summary statistics for repeated randomized trials.
+
+Every benchmark repeats its measurement over several seeds; these helpers
+reduce the trials to the mean / spread columns the tables print.  Nothing
+here is fancy on purpose: the experiments test *shape* claims (growth rates,
+bound satisfaction), not subtle effect sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["TrialSummary", "summarize", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Mean / std / extremes of one measured quantity over trials."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def as_dict(self) -> dict:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "n": self.count,
+        }
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".3g"
+        return f"{self.mean:{spec}} ± {self.std:{spec}}"
+
+
+def summarize(values: Sequence[float]) -> TrialSummary:
+    """Reduce a sequence of trial measurements.
+
+    Standard deviation is the sample std (ddof=1) when two or more trials
+    exist, else 0.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("summarize needs at least one value")
+    return TrialSummary(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (all values must be positive) — the right average for
+    approximation ratios."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric_mean needs at least one value")
+    if not (arr > 0).all():
+        raise ValueError("geometric_mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))

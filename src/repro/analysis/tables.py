@@ -1,0 +1,66 @@
+"""ASCII table rendering for benchmark output.
+
+The benches print their reproduced "tables" with :func:`render_table`, so
+every experiment's rows look the same in ``pytest benchmarks/`` output and
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value) -> str:
+    """Human-friendly formatting: floats to 4 significant digits, ints and
+    strings verbatim, booleans as yes/no."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` (sequence of dicts) as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    columns:
+        Column order; default: keys of the first row.
+    title:
+        Optional heading line.
+
+    Returns
+    -------
+    str
+        The formatted table (no trailing newline).
+    """
+    if not rows:
+        return (title + "\n(empty)") if title else "(empty)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[format_cell(row.get(c, "")) for c in cols] for row in rows]
+    widths = [max(len(c), max(len(r[i]) for r in cells)) for i, c in enumerate(cols)]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    body = [" | ".join(r[i].rjust(widths[i]) for i in range(len(cols))) for r in cells]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, sep])
+    lines.extend(body)
+    return "\n".join(lines)

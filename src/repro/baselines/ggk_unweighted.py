@@ -1,0 +1,66 @@
+"""GGK+18-style unweighted MPC vertex cover, as a weighted-instance foil.
+
+Ghaffari et al. [GGK+18] give the O(log log n)-round MPC algorithm for
+(2+ε)-approximate *minimum cardinality* vertex cover — the ``w ≡ 1`` special
+case of this paper's Algorithm 2 (the paper's framework reduces to theirs
+when all weights and the initialization collapse to the uniform case).  We
+therefore realize the GGK baseline as Algorithm 2 executed on the
+weight-stripped graph.
+
+Experiment E8 uses it the way the paper's introduction motivates the whole
+work: on instances with heterogeneous weights, a cardinality-optimizing
+cover can be *arbitrarily* more expensive than the weighted optimum — e.g. a
+star with a heavy hub and light leaves, where cardinality reasoning buys the
+hub.  The baseline keeps the round complexity but loses the weighted
+guarantee entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mpc_mwvc import minimum_weight_vertex_cover
+from repro.core.params import MPCParameters
+from repro.graphs.graph import WeightedGraph
+from repro.utils.rng import SeedLike
+
+__all__ = ["UnweightedBaselineResult", "unweighted_mpc_vertex_cover"]
+
+
+@dataclass(frozen=True)
+class UnweightedBaselineResult:
+    """Cardinality-targeting cover evaluated against the true weights."""
+
+    in_cover: np.ndarray
+    cover_size: int
+    true_weight: float
+    mpc_rounds: int
+    num_phases: int
+
+
+def unweighted_mpc_vertex_cover(
+    graph: WeightedGraph,
+    *,
+    eps: float = 0.1,
+    params: MPCParameters | None = None,
+    seed: SeedLike = None,
+) -> UnweightedBaselineResult:
+    """Run the unweighted (GGK-style) MPC algorithm, ignoring the weights.
+
+    The returned ``true_weight`` evaluates the cardinality-driven cover
+    under ``graph``'s real weights — the number experiment E8 compares with
+    the weighted algorithm's cover weight.
+    """
+    stripped = graph.with_weights(np.ones(graph.n))
+    res = minimum_weight_vertex_cover(
+        stripped, eps=eps, params=params, seed=seed, engine="vectorized"
+    )
+    return UnweightedBaselineResult(
+        in_cover=res.in_cover,
+        cover_size=res.cover_size(),
+        true_weight=float(graph.weights[res.in_cover].sum()),
+        mpc_rounds=res.mpc_rounds,
+        num_phases=res.num_phases,
+    )

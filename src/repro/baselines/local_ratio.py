@@ -1,0 +1,75 @@
+"""Local-ratio 2-approximation for MWVC (Bar-Yehuda & Even, 1985 form).
+
+The local-ratio technique decomposes the weight function: repeatedly pick an
+uncovered edge ``(u, v)``, subtract ``δ = min(w(u), w(v))`` from *both*
+endpoints, and recurse on the residual weights; vertices whose weight
+reaches zero form the cover.  Every feasible cover pays at least ``δ`` per
+decomposition step, and the returned cover pays at most ``2δ``, giving the
+factor-2 guarantee.
+
+Operationally this is the same dual ascent as
+:mod:`repro.baselines.pricing`, but expressed through weight decomposition —
+it returns the list of ``(edge, δ)`` reductions rather than duals, and the
+tests verify the two algorithms produce *identical covers* when run in the
+same edge order (a nontrivial equivalence worth pinning: it guards both
+implementations against drift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+
+__all__ = ["LocalRatioResult", "local_ratio_vertex_cover"]
+
+
+@dataclass(frozen=True)
+class LocalRatioResult:
+    """Cover + weight decomposition from the local-ratio algorithm."""
+
+    in_cover: np.ndarray
+    cover_weight: float
+    reductions: List[Tuple[int, float]]
+    lower_bound: float
+
+    @property
+    def num_reductions(self) -> int:
+        return len(self.reductions)
+
+
+def local_ratio_vertex_cover(graph: WeightedGraph) -> LocalRatioResult:
+    """Run the local-ratio algorithm in canonical edge order.
+
+    Returns
+    -------
+    LocalRatioResult
+        ``reductions`` is the weight decomposition (edge id, δ);
+        ``lower_bound = Σ δ`` satisfies ``lower_bound ≤ OPT`` and
+        ``cover_weight ≤ 2 · lower_bound``.
+    """
+    n, m = graph.n, graph.m
+    residual = graph.weights.astype(np.float64).copy()
+    eu, ev = graph.edges_u, graph.edges_v
+    reductions: List[Tuple[int, float]] = []
+    for e in range(m):
+        u = int(eu[e])
+        v = int(ev[e])
+        ru = residual[u]
+        rv = residual[v]
+        if ru <= 0.0 or rv <= 0.0:
+            continue
+        delta = ru if ru < rv else rv
+        residual[u] = ru - delta
+        residual[v] = rv - delta
+        reductions.append((e, float(delta)))
+    in_cover = residual <= 0.0
+    return LocalRatioResult(
+        in_cover=in_cover,
+        cover_weight=float(graph.weights[in_cover].sum()),
+        reductions=reductions,
+        lower_bound=float(sum(d for _, d in reductions)),
+    )

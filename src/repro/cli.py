@@ -1,0 +1,243 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro solve      # run a cover algorithm on a file or a
+                               # generated workload, print the summary
+    python -m repro generate   # write a workload to .npz / edge list
+    python -m repro experiment # run experiment runners E1..E11, print tables
+
+Examples
+--------
+Generate a workload and solve it::
+
+    python -m repro generate --family gnp --n 5000 --degree 32 \\
+        --weights uniform --seed 1 --out work.npz
+    python -m repro solve --input work.npz --eps 0.1 --seed 2
+
+Solve a generated workload directly, with the cluster engine::
+
+    python -m repro solve --family power_law --n 2000 --degree 8 \\
+        --weights adversarial --engine cluster --seed 3
+
+Reproduce an experiment table::
+
+    python -m repro experiment e5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis import experiments as _exp
+from repro.analysis.tables import render_table
+from repro.baselines.greedy import greedy_vertex_cover
+from repro.baselines.pricing import pricing_vertex_cover
+from repro.core.centralized import run_centralized
+from repro.core.mpc_mwvc import minimum_weight_vertex_cover
+from repro.graphs import generators as _gen
+from repro.graphs import generators_extra as _genx
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.io import load_edgelist, load_npz, save_edgelist, save_npz
+from repro.graphs.weights import WEIGHT_MODELS, make_weights
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "e1": ("round complexity (Thm 1.1)", _exp.experiment_round_complexity),
+    "e2": ("approximation ratio (Thm 4.7)", _exp.experiment_approximation),
+    "e3": ("per-machine memory (Lemma 4.1)", _exp.experiment_memory),
+    "e4": ("degree reduction (Obs 4.3 / Lemma 4.4)", _exp.experiment_degree_reduction),
+    "e5": ("centralized iterations (Prop 3.4)", _exp.experiment_centralized_iterations),
+    "e6": ("coupling deviation (Lemma 4.6)", _exp.experiment_deviation),
+    "e7": ("vs LOCAL baseline (intro)", _exp.experiment_vs_local_baseline),
+    "e8": ("weighted vs unweighted (motivation)", _exp.experiment_weighted_vs_unweighted),
+    "e9": ("design ablations (§3.2)", _exp.experiment_ablations),
+    "e10": ("congested clique (§1.3)", _exp.experiment_congested_clique),
+    "e11": ("engine agreement (accounting audit)", _exp.experiment_engine_agreement),
+}
+
+
+def _load_or_generate(args) -> WeightedGraph:
+    if args.input:
+        if str(args.input).endswith(".npz"):
+            return load_npz(args.input)
+        return load_edgelist(args.input)
+    return _generate_graph(args)
+
+
+def _generate_graph(args) -> WeightedGraph:
+    family = args.family
+    n, seed = args.n, args.seed
+    if family == "gnp":
+        g = _gen.gnp_average_degree(n, args.degree, seed=seed)
+    elif family == "power_law":
+        g = _gen.power_law(n, seed=seed)
+    elif family == "grid":
+        side = int(np.sqrt(n))
+        g = _gen.grid_2d(side, side)
+    elif family == "tree":
+        g = _gen.random_tree(n, seed=seed)
+    elif family == "sbm":
+        blocks = [n // 4] * 4
+        g = _genx.stochastic_block_model(
+            blocks, p_in=min(1.0, args.degree / max(n // 4, 1)), p_out=0.25 / max(n, 1),
+            seed=seed,
+        )
+    elif family == "geometric":
+        radius = np.sqrt(args.degree / (np.pi * max(n - 1, 1)))
+        g = _genx.random_geometric(n, radius, seed=seed)
+    elif family == "ba":
+        g = _genx.preferential_attachment(n, max(1, int(args.degree / 2)), seed=seed)
+    else:
+        raise SystemExit(f"unknown family {family!r}")
+    if args.weights != "unit":
+        g = g.with_weights(make_weights(args.weights, g, seed=seed + 1))
+    return g
+
+
+def _cmd_solve(args) -> int:
+    graph = _load_or_generate(args)
+    if args.algorithm == "mpc":
+        res = minimum_weight_vertex_cover(
+            graph, eps=args.eps, seed=args.seed, engine=args.engine
+        )
+        summary = res.summary()
+        summary.update(res.certificate.summary())
+        cover = res.in_cover
+    elif args.algorithm == "centralized":
+        res = run_centralized(graph, eps=args.eps, seed=args.seed)
+        cover = res.in_cover
+        summary = {
+            "cover_weight": graph.cover_weight(cover),
+            "cover_size": int(cover.sum()),
+            "dual_value": res.dual_value,
+            "iterations": res.iterations,
+        }
+    elif args.algorithm == "pricing":
+        res = pricing_vertex_cover(graph)
+        cover = res.in_cover
+        summary = {
+            "cover_weight": res.cover_weight,
+            "cover_size": int(cover.sum()),
+            "dual_value": res.dual_value,
+        }
+    elif args.algorithm == "greedy":
+        res = greedy_vertex_cover(graph)
+        cover = res.in_cover
+        summary = {"cover_weight": res.cover_weight, "cover_size": int(cover.sum())}
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+
+    if not graph.is_vertex_cover(cover):  # pragma: no cover - algorithms verified
+        raise SystemExit("internal error: produced a non-cover")
+    summary["n"] = graph.n
+    summary["m"] = graph.m
+    summary["algorithm"] = args.algorithm
+    if args.json:
+        print(json.dumps({k: _jsonable(v) for k, v in summary.items()}, indent=2))
+    else:
+        rows = [{"key": k, "value": v} for k, v in summary.items()]
+        print(render_table(rows, title=f"{args.algorithm} on {graph}"))
+    if args.cover_out:
+        np.savetxt(args.cover_out, np.nonzero(cover)[0], fmt="%d")
+        print(f"cover vertex ids written to {args.cover_out}")
+    return 0
+
+
+def _jsonable(v):
+    if isinstance(v, (np.integer,)):
+        return int(v)
+    if isinstance(v, (np.floating,)):
+        return float(v)
+    if isinstance(v, (np.bool_,)):
+        return bool(v)
+    return v
+
+
+def _cmd_generate(args) -> int:
+    graph = _generate_graph(args)
+    if str(args.out).endswith(".npz"):
+        save_npz(graph, args.out)
+    else:
+        save_edgelist(graph, args.out)
+    print(f"wrote {graph} to {args.out}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    names = [x.lower() for x in args.ids]
+    if "all" in names:
+        names = list(_EXPERIMENTS)
+    unknown = [x for x in names if x not in _EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiment ids {unknown}; known: {sorted(_EXPERIMENTS)}")
+    for name in names:
+        title, fn = _EXPERIMENTS[name]
+        rows = fn()
+        print(render_table(rows, title=f"{name.upper()}: {title}"))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Minimum weight vertex cover in the MPC model "
+        "(Ghaffari-Jin-Nilis, SPAA 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p):
+        p.add_argument("--input", help="input graph (.npz or edge list)")
+        p.add_argument(
+            "--family",
+            default="gnp",
+            choices=["gnp", "power_law", "grid", "tree", "sbm", "geometric", "ba"],
+        )
+        p.add_argument("--n", type=int, default=1000)
+        p.add_argument("--degree", type=float, default=16.0)
+        p.add_argument(
+            "--weights", default="uniform", choices=["unit", *sorted(WEIGHT_MODELS)]
+        )
+        p.add_argument("--seed", type=int, default=0)
+
+    solve = sub.add_parser("solve", help="compute a vertex cover")
+    add_workload_args(solve)
+    solve.add_argument(
+        "--algorithm",
+        default="mpc",
+        choices=["mpc", "centralized", "pricing", "greedy"],
+    )
+    solve.add_argument("--eps", type=float, default=0.1)
+    solve.add_argument("--engine", default="vectorized", choices=["vectorized", "cluster"])
+    solve.add_argument("--json", action="store_true", help="machine-readable output")
+    solve.add_argument("--cover-out", help="write cover vertex ids to this file")
+    solve.set_defaults(func=_cmd_solve)
+
+    gen = sub.add_parser("generate", help="write a workload file")
+    add_workload_args(gen)
+    gen.add_argument("--out", required=True, help="output path (.npz or .txt)")
+    gen.set_defaults(func=_cmd_generate)
+
+    exp = sub.add_parser("experiment", help="run experiment tables E1..E11")
+    exp.add_argument("ids", nargs="+", help="experiment ids (e1..e11 or 'all')")
+    exp.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Directly-executed congested-clique primitives.
+
+These are the standard O(1)-round collectives of the model, implemented with
+real :class:`~repro.congested.clique.CongestedClique` messages so the tests
+can pin their round counts and link loads:
+
+* :func:`broadcast_value` — 1 round (source sends one word on each link);
+* :func:`aggregate_sum` — 1 round (every node sends its value to the root;
+  the root receives ``n-1`` words, but on *distinct* links — legal);
+* :func:`allreduce_sum` — 2 rounds (aggregate, then broadcast);
+* :func:`compute_degrees` — each node learns its degree in a vertex-per-node
+  distributed graph: node ``v`` holds its adjacency row and needs no
+  communication for its own degree, but 1 aggregate round gives node 0 the
+  degree *sum* (used by the MWVC adapter to evaluate the Line 2 condition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.congested.clique import CliqueMessage, CongestedClique
+
+__all__ = ["broadcast_value", "aggregate_sum", "allreduce_sum", "compute_degree_sum"]
+
+
+def broadcast_value(cc: CongestedClique, src: int, value: float) -> Dict[int, float]:
+    """Source sends one word to every other node; 1 round."""
+    msgs = [
+        CliqueMessage(src, dst, float(value)) for dst in range(cc.num_nodes) if dst != src
+    ]
+    inboxes = cc.exchange(msgs)
+    out = {src: float(value)}
+    for dst, box in inboxes.items():
+        out[dst] = float(box[0].payload)
+    return out
+
+
+def aggregate_sum(cc: CongestedClique, values: Dict[int, float], *, root: int = 0) -> float:
+    """Every node ships its value to ``root``; root returns the total; 1 round."""
+    msgs = [
+        CliqueMessage(node, root, float(v)) for node, v in sorted(values.items()) if node != root
+    ]
+    inboxes = cc.exchange(msgs)
+    total = float(values.get(root, 0.0))
+    for msg in inboxes.get(root, []):
+        total += float(msg.payload)
+    return total
+
+
+def allreduce_sum(cc: CongestedClique, values: Dict[int, float], *, root: int = 0) -> Dict[int, float]:
+    """Aggregate to ``root`` then broadcast; 2 rounds; all nodes learn the sum."""
+    total = aggregate_sum(cc, values, root=root)
+    return broadcast_value(cc, root, total)
+
+
+def compute_degree_sum(cc: CongestedClique, degrees: np.ndarray, *, root: int = 0) -> float:
+    """Node ``v`` holds ``degrees[v]``; root learns ``Σ_v d(v)``; 1 round.
+
+    This is the congested-clique realization of evaluating the Line 2
+    condition ``d̄ > threshold`` when the graph is distributed one vertex
+    per node.
+    """
+    if degrees.shape != (cc.num_nodes,):
+        raise ValueError(f"degrees must have shape ({cc.num_nodes},)")
+    return aggregate_sum(cc, {v: float(degrees[v]) for v in range(cc.num_nodes)}, root=root)

@@ -1,0 +1,141 @@
+"""Orientation-based progress diagnostics (§3.2, Observation 4.3, Lemma 4.4).
+
+The paper measures the per-phase progress of Algorithm 2 by *orienting* every
+edge of ``E[V^high]`` toward the endpoint with the larger ``w'(v)/d(v)``
+ratio: each out-edge of ``u`` then starts with dual exactly ``w'(u)/d(u)``,
+so a vertex surviving the safety freeze (Line 2i) can keep at most
+``d(u)·(1-ε)^I`` *active* out-edges (Observation 4.3), and the number of
+edges surviving a whole phase is at most ``2·n·d̄·(1-ε)^I`` (Lemma 4.4).
+
+These are the two claims experiment E4 verifies.  This module computes the
+measured quantities from a phase's ``(plan, outcome)`` pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import MPCParameters
+from repro.core.phase_kernel import PhaseOutcome, PhasePlan
+
+__all__ = ["OrientationReport", "orient_edges", "orientation_report"]
+
+
+def orient_edges(plan: PhasePlan, resid_degree_high: np.ndarray) -> np.ndarray:
+    """Orientation of every ``E[V^high]`` edge in a plan.
+
+    Returns a boolean array over ``plan.edges_high``: ``True`` when the edge
+    is directed ``hu → hv`` (i.e. ``hu`` is the tail — the endpoint with the
+    smaller ratio ``w'(v)/d(v)``, whose ratio equals the edge's initial
+    dual).  Ties break toward ``hu`` (the paper allows arbitrary breaking).
+
+    Parameters
+    ----------
+    resid_degree_high:
+        Residual degrees ``d(v)`` of the high vertices at phase start
+        (Remark 4.2: these are *not* degrees within ``V^high``), aligned
+        with ``plan.high_ids``.
+    """
+    if plan.num_edges_high == 0:
+        return np.empty(0, dtype=bool)
+    d_high = np.asarray(resid_degree_high, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(d_high > 0, plan.wprime_high / np.maximum(d_high, 1.0), np.inf)
+    return ratio[plan.hu] <= ratio[plan.hv]
+
+
+@dataclass(frozen=True)
+class OrientationReport:
+    """Measured vs claimed per-phase progress (one E4 row)."""
+
+    phase_index: int
+    iterations: int
+    eps: float
+    num_high: int
+    num_edges_high: int
+    max_active_out_degree: float
+    max_out_degree_bound_ratio: float
+    surviving_edges: int
+    lemma44_bound: float
+    lemma44_ratio: float
+
+    def as_dict(self) -> dict:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+def orientation_report(
+    plan: PhasePlan,
+    outcome: PhaseOutcome,
+    params: MPCParameters,
+    *,
+    resid_degree_high: np.ndarray,
+) -> OrientationReport:
+    """Check Observation 4.3 and Lemma 4.4 on a completed phase.
+
+    Parameters
+    ----------
+    plan, outcome:
+        A phase's plan and outcome (``collect_trace=True`` runs keep them).
+    params:
+        The parameters used for the run (for ε).
+    resid_degree_high:
+        Residual degrees ``d(v)`` of the high vertices *at the start of the
+        phase* (the orchestrator's ``state.resid_degree[plan.high_ids]``
+        before :func:`~repro.core.phase_kernel.apply_outcome`; the analysis
+        harness records them).
+
+    Returns
+    -------
+    OrientationReport
+        ``max_out_degree_bound_ratio`` is
+        ``max_v d_out_active(v) / (d(v)·(1-ε)^I)`` — Observation 4.3 claims
+        ``≤ 1``; ``lemma44_ratio`` is ``surviving_edges / (2·n·d̄·(1-ε)^I)``
+        — Lemma 4.4 claims ``≤ 1`` w.h.p.
+    """
+    I = plan.iterations
+    eps = params.eps
+    shrink = (1.0 - eps) ** I
+    d_high = np.asarray(resid_degree_high, dtype=np.float64)
+    if d_high.shape != (plan.num_high,):
+        raise ValueError("resid_degree_high must align with plan.high_ids")
+
+    frozen_local = outcome.frozen_mask(I)
+    active = ~frozen_local
+
+    if plan.num_edges_high:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(d_high > 0, plan.wprime_high / np.maximum(d_high, 1.0), np.inf)
+        tail_is_u = ratio[plan.hu] <= ratio[plan.hv]
+        tails = np.where(tail_is_u, plan.hu, plan.hv)
+        heads = np.where(tail_is_u, plan.hv, plan.hu)
+        both_active = active[tails] & active[heads]
+        out_active = np.bincount(tails[both_active], minlength=plan.num_high).astype(np.float64)
+        denom = np.maximum(d_high * shrink, 1e-300)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(active & (d_high > 0), out_active / denom, 0.0)
+        max_out = float(out_active[active].max(initial=0.0))
+        max_ratio = float(ratios.max(initial=0.0))
+        surviving = int(both_active.sum())
+    else:
+        max_out = 0.0
+        max_ratio = 0.0
+        surviving = 0
+
+    nd = plan.n * plan.avg_degree
+    bound = 2.0 * nd * shrink
+    lemma_ratio = surviving / bound if bound > 0 else 0.0
+
+    return OrientationReport(
+        phase_index=plan.phase_index,
+        iterations=I,
+        eps=eps,
+        num_high=plan.num_high,
+        num_edges_high=plan.num_edges_high,
+        max_active_out_degree=max_out,
+        max_out_degree_bound_ratio=max_ratio,
+        surviving_edges=surviving,
+        lemma44_bound=bound,
+        lemma44_ratio=lemma_ratio,
+    )

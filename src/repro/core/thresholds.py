@@ -1,0 +1,99 @@
+"""Random freezing thresholds ``T_{v,t}`` (Algorithm 1 Line 3 / Algorithm 2 Line 2d).
+
+The thresholds are independent uniform draws from ``[1-4ε, 1-2ε]``, one per
+(vertex, iteration) pair.  Their role (from [GGK+18]): a *fixed* threshold
+would let an adversarial estimate error flip a freeze decision with
+probability 1; a random threshold makes a vertex "bad" only when the
+threshold happens to land inside the (small) error window, which occurs with
+probability ``error / (2ε·w'(v))`` (Lemma 4.8).
+
+:class:`ThresholdSampler` materializes columns lazily and deterministically:
+``column(t)`` depends only on ``(seed, t)``, so the centralized run, the
+vectorized engine, and the cluster engine — and machines *within* the cluster
+engine, which regenerate thresholds from the shared seed instead of shipping
+them (the paper notes thresholds need not be stored) — all see identical
+draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_seed_sequence, spawn_rng
+from repro.utils.validation import check_fraction
+
+__all__ = ["ThresholdSampler"]
+
+
+class ThresholdSampler:
+    """Deterministic lazy matrix of thresholds ``T[v, t] ~ U[1-4ε, 1-2ε]``.
+
+    Parameters
+    ----------
+    seed:
+        Stream root; equal seeds yield equal threshold matrices.
+    num_vertices:
+        Number of rows (vertices being simulated).
+    eps:
+        Accuracy parameter; determines the support ``[1-4ε, 1-2ε]``.
+    """
+
+    def __init__(self, seed: SeedLike, num_vertices: int, eps: float):
+        check_fraction("eps", eps, low=0.0, high=0.25)
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be >= 0")
+        self._seed = as_seed_sequence(seed)
+        self.num_vertices = int(num_vertices)
+        self.eps = float(eps)
+        self.low = 1.0 - 4.0 * self.eps
+        self.high = 1.0 - 2.0 * self.eps
+        self._cache: dict[int, np.ndarray] = {}
+
+    def column(self, t: int) -> np.ndarray:
+        """Thresholds for iteration ``t`` (shape ``(num_vertices,)``).
+
+        Columns are cached; repeated calls return the same array object.
+        """
+        t = int(t)
+        if t < 0:
+            raise ValueError("iteration index must be >= 0")
+        if t not in self._cache:
+            rng = spawn_rng(self._seed, t)
+            col = rng.uniform(self.low, self.high, size=self.num_vertices)
+            col.setflags(write=False)
+            self._cache[t] = col
+        return self._cache[t]
+
+    def matrix(self, num_iterations: int) -> np.ndarray:
+        """Dense ``(num_vertices, num_iterations)`` threshold matrix."""
+        if num_iterations < 0:
+            raise ValueError("num_iterations must be >= 0")
+        if self.num_vertices == 0 or num_iterations == 0:
+            return np.empty((self.num_vertices, num_iterations))
+        return np.stack([self.column(t) for t in range(num_iterations)], axis=1)
+
+    def restricted(self, vertex_ids: np.ndarray) -> "_RestrictedSampler":
+        """A view of this sampler limited to ``vertex_ids`` (used by cluster
+        machines, which each simulate a subset of the vertices but must see
+        the globally consistent draws)."""
+        return _RestrictedSampler(self, np.asarray(vertex_ids, dtype=np.int64))
+
+
+class _RestrictedSampler:
+    """Row-restricted view over a :class:`ThresholdSampler`."""
+
+    def __init__(self, base: ThresholdSampler, vertex_ids: np.ndarray):
+        if vertex_ids.size and (
+            vertex_ids.min() < 0 or vertex_ids.max() >= base.num_vertices
+        ):
+            raise ValueError("vertex ids out of range for threshold sampler")
+        self._base = base
+        self._ids = vertex_ids
+        self.eps = base.eps
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self._ids.size)
+
+    def column(self, t: int) -> np.ndarray:
+        return self._base.column(t)[self._ids]

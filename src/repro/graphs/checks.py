@@ -1,0 +1,78 @@
+"""Structural invariant checks for :class:`~repro.graphs.graph.WeightedGraph`.
+
+Used by tests (including the hypothesis suites) and available to users as a
+debugging aid.  :func:`validate_graph` re-derives every invariant the rest of
+the package relies on; it is intentionally independent of the construction
+code in :mod:`repro.graphs.graph` so that a bug there cannot hide itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+
+__all__ = ["validate_graph", "GraphInvariantError"]
+
+
+class GraphInvariantError(AssertionError):
+    """Raised when a graph violates a structural invariant."""
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise GraphInvariantError(message)
+
+
+def validate_graph(graph: WeightedGraph) -> None:
+    """Raise :class:`GraphInvariantError` unless all invariants hold.
+
+    Checked invariants:
+
+    I1. endpoint arrays have equal length and dtype int64;
+    I2. every endpoint lies in ``[0, n)``;
+    I3. canonical orientation ``u < v`` for every edge (hence no self-loops);
+    I4. edges strictly lexicographically sorted (hence no duplicates);
+    I5. weights positive, finite, length ``n``;
+    I6. degrees equal an independent recount;
+    I7. CSR adjacency is consistent: ``indptr`` monotone with total ``2m``,
+        per-slot (head, tail, edge-id) triples match the edge arrays.
+    """
+    n, m = graph.n, graph.m
+    u, v = graph.edges_u, graph.edges_v
+
+    _require(u.shape == (m,) and v.shape == (m,), "I1: endpoint shape mismatch")
+    _require(u.dtype == np.int64 and v.dtype == np.int64, "I1: endpoint dtype must be int64")
+    if m:
+        _require(int(u.min()) >= 0 and int(v.max()) < n, "I2: endpoint out of range")
+        _require(bool((u < v).all()), "I3: edges must satisfy u < v")
+        if m > 1:
+            lex = (u[:-1] < u[1:]) | ((u[:-1] == u[1:]) & (v[:-1] < v[1:]))
+            _require(bool(lex.all()), "I4: edges must be strictly sorted")
+
+    w = graph.weights
+    _require(w.shape == (n,), "I5: weight length mismatch")
+    if n:
+        _require(bool(np.isfinite(w).all()) and bool((w > 0).all()), "I5: weights must be finite and > 0")
+
+    recount = np.zeros(n, dtype=np.int64)
+    for arr in (u, v):
+        np.add.at(recount, arr, 1)
+    _require(bool(np.array_equal(recount, graph.degrees)), "I6: degree mismatch")
+
+    indptr = graph.indptr
+    adj_v = graph.adj_vertices
+    adj_e = graph.adj_edges
+    _require(indptr.shape == (n + 1,), "I7: indptr shape")
+    _require(int(indptr[0]) == 0 and int(indptr[-1]) == 2 * m, "I7: indptr bounds")
+    _require(bool((np.diff(indptr) == graph.degrees).all()), "I7: indptr vs degrees")
+    for head in range(n):
+        lo, hi = int(indptr[head]), int(indptr[head + 1])
+        for slot in range(lo, hi):
+            eid = int(adj_e[slot])
+            tail = int(adj_v[slot])
+            a, b = int(u[eid]), int(v[eid])
+            _require(
+                (a == head and b == tail) or (b == head and a == tail),
+                f"I7: adjacency slot {slot} of vertex {head} disagrees with edge {eid}",
+            )

@@ -1,0 +1,275 @@
+"""Seeded random-graph generators.
+
+These provide the workloads for the experiment suite (DESIGN.md §5):
+Erdős–Rényi graphs for the density sweeps, configuration-model power-law
+graphs for heavy-tailed degree stress, and structured families (stars,
+cliques, bipartite, grids, trees) whose optima are known in closed form and
+therefore pin down approximation ratios exactly in tests.
+
+All generators take ``seed`` (int / SeedSequence / None) and are
+deterministic for a given seed.  They return bare topology; vertex weights
+come separately from :mod:`repro.graphs.weights` so that topology and weight
+randomness can be varied independently (important for the E2 grid).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.utils.rng import SeedLike, spawn_rng, PURPOSE_TOPOLOGY
+
+__all__ = [
+    "gnp",
+    "gnm",
+    "gnp_average_degree",
+    "power_law",
+    "star",
+    "double_star",
+    "complete_graph",
+    "complete_bipartite",
+    "grid_2d",
+    "random_tree",
+    "planted_cover",
+    "disjoint_edges",
+    "cycle",
+]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    return spawn_rng(seed, PURPOSE_TOPOLOGY)
+
+
+def gnm(n: int, m: int, *, seed: SeedLike = None) -> WeightedGraph:
+    """Uniform random graph with exactly ``m`` distinct edges (G(n, m)).
+
+    Sampling is rejection-free for sparse graphs: draw 64-bit edge codes,
+    deduplicate, repeat until ``m`` distinct non-loop pairs are collected.
+    Requires ``m <= n(n-1)/2``.
+    """
+    n = int(n)
+    m = int(m)
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    max_m = n * (n - 1) // 2
+    if m < 0 or m > max_m:
+        raise ValueError(f"m must lie in [0, {max_m}] for n={n}, got {m}")
+    rng = _rng(seed)
+    if m == 0:
+        return WeightedGraph.empty(n)
+    if m > max_m // 2:
+        # Dense regime: enumerate all pairs and choose. Only feasible because
+        # dense graphs here are small.
+        iu, iv = np.triu_indices(n, k=1)
+        pick = rng.choice(iu.size, size=m, replace=False)
+        return WeightedGraph(n, iu[pick], iv[pick])
+    chosen = np.empty(0, dtype=np.int64)
+    while chosen.size < m:
+        need = m - chosen.size
+        u = rng.integers(0, n, size=2 * need + 16, dtype=np.int64)
+        v = rng.integers(0, n, size=2 * need + 16, dtype=np.int64)
+        ok = u != v
+        u, v = u[ok], v[ok]
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        codes = lo * np.int64(n) + hi
+        chosen = np.unique(np.concatenate([chosen, codes]))
+        if chosen.size > m:
+            # unique() sorted the codes; drop a uniformly random subset to
+            # keep exactly m (permute to avoid biasing toward small codes).
+            chosen = rng.permutation(chosen)[:m]
+    u = chosen // n
+    v = chosen % n
+    return WeightedGraph(n, u, v)
+
+
+def gnp(n: int, p: float, *, seed: SeedLike = None) -> WeightedGraph:
+    """Erdős–Rényi G(n, p): each pair independently an edge with prob. ``p``.
+
+    Implemented by drawing ``Binomial(n(n-1)/2, p)`` for the edge count and
+    delegating to :func:`gnm`; this is exactly the G(n,p) distribution and
+    avoids materializing all pairs.
+    """
+    n = int(n)
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"p must be in [0,1], got {p}")
+    rng = _rng(seed)
+    max_m = n * (n - 1) // 2
+    m = int(rng.binomial(max_m, p)) if max_m > 0 and p > 0 else 0
+    # gnm must see an independent stream; derive a sub-seed from this rng.
+    sub = int(rng.integers(0, 2**63 - 1))
+    return gnm(n, m, seed=sub)
+
+
+def gnp_average_degree(n: int, avg_degree: float, *, seed: SeedLike = None) -> WeightedGraph:
+    """G(n, p) parameterized by target average degree ``d = p(n-1)``."""
+    n = int(n)
+    if n <= 1:
+        return WeightedGraph.empty(max(n, 0))
+    if avg_degree < 0 or avg_degree > n - 1:
+        raise ValueError(f"avg_degree must lie in [0, {n - 1}], got {avg_degree}")
+    return gnp(n, float(avg_degree) / (n - 1), seed=seed)
+
+
+def power_law(
+    n: int,
+    exponent: float = 2.5,
+    *,
+    min_degree: int = 1,
+    max_degree: int | None = None,
+    seed: SeedLike = None,
+) -> WeightedGraph:
+    """Configuration-model graph with power-law degree distribution.
+
+    Degrees are drawn from ``P(k) ∝ k^{-exponent}`` on
+    ``[min_degree, max_degree]`` (default cap ``√n``, the standard choice
+    that keeps the simple-graph rejection rate low), stubs are paired
+    uniformly, then self-loops and multi-edges are discarded ("erased
+    configuration model").  The realized degree sequence is therefore close
+    to, not exactly, the drawn one — the standard trade-off.
+    """
+    n = int(n)
+    if n < 2:
+        return WeightedGraph.empty(max(n, 0))
+    if exponent <= 1.0:
+        raise ValueError(f"exponent must be > 1, got {exponent}")
+    if max_degree is None:
+        max_degree = max(min_degree, int(np.sqrt(n)))
+    if not (1 <= min_degree <= max_degree <= n - 1):
+        raise ValueError(
+            f"need 1 <= min_degree <= max_degree <= n-1; got {min_degree}, {max_degree}"
+        )
+    rng = _rng(seed)
+    ks = np.arange(min_degree, max_degree + 1, dtype=np.float64)
+    probs = ks ** (-float(exponent))
+    probs /= probs.sum()
+    degrees = rng.choice(ks.astype(np.int64), size=n, p=probs)
+    if degrees.sum() % 2 == 1:
+        degrees[int(rng.integers(0, n))] += 1
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    rng.shuffle(stubs)
+    u = stubs[0::2]
+    v = stubs[1::2]
+    keep = u != v
+    return WeightedGraph(n, u[keep], v[keep])
+
+
+def star(n: int) -> WeightedGraph:
+    """Star ``K_{1,n-1}``: vertex 0 is the hub.  OPT(unweighted) = 1."""
+    n = int(n)
+    if n < 1:
+        raise ValueError("star needs n >= 1")
+    leaves = np.arange(1, n, dtype=np.int64)
+    return WeightedGraph(n, np.zeros(n - 1, dtype=np.int64), leaves)
+
+
+def double_star(k: int) -> WeightedGraph:
+    """Two hubs (0, 1) joined by an edge, each with ``k`` private leaves.
+
+    OPT(unweighted) = 2 (the hubs); a classic greedy-trap instance.
+    """
+    k = int(k)
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    n = 2 + 2 * k
+    us = [0] + [0] * k + [1] * k
+    vs = [1] + list(range(2, 2 + k)) + list(range(2 + k, 2 + 2 * k))
+    return WeightedGraph.from_edge_list(n, zip(us, vs))
+
+
+def complete_graph(n: int) -> WeightedGraph:
+    """Clique ``K_n``.  OPT(unweighted) = n - 1."""
+    n = int(n)
+    iu, iv = np.triu_indices(n, k=1)
+    return WeightedGraph(n, iu.astype(np.int64), iv.astype(np.int64))
+
+
+def complete_bipartite(a: int, b: int) -> WeightedGraph:
+    """``K_{a,b}`` with left part ``0..a-1``.  OPT(unweighted) = min(a, b)."""
+    a, b = int(a), int(b)
+    if a < 0 or b < 0:
+        raise ValueError("part sizes must be >= 0")
+    left = np.repeat(np.arange(a, dtype=np.int64), b)
+    right = np.tile(np.arange(a, a + b, dtype=np.int64), a)
+    return WeightedGraph(a + b, left, right)
+
+
+def grid_2d(rows: int, cols: int) -> WeightedGraph:
+    """``rows x cols`` grid graph (4-neighborhood)."""
+    rows, cols = int(rows), int(cols)
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs rows, cols >= 1")
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horiz_u = idx[:, :-1].ravel()
+    horiz_v = idx[:, 1:].ravel()
+    vert_u = idx[:-1, :].ravel()
+    vert_v = idx[1:, :].ravel()
+    return WeightedGraph(
+        rows * cols, np.concatenate([horiz_u, vert_u]), np.concatenate([horiz_v, vert_v])
+    )
+
+
+def cycle(n: int) -> WeightedGraph:
+    """Cycle ``C_n`` (n >= 3).  OPT(unweighted) = ceil(n/2)."""
+    n = int(n)
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    return WeightedGraph(n, u, v)
+
+
+def random_tree(n: int, *, seed: SeedLike = None) -> WeightedGraph:
+    """Uniform random labeled tree via a random Prüfer-like attachment.
+
+    Each vertex ``i >= 1`` attaches to a uniform vertex in ``[0, i)``
+    (random recursive tree — not uniform over all labeled trees, but a
+    standard sparse benchmark family with Θ(log n) expected height).
+    """
+    n = int(n)
+    if n < 1:
+        raise ValueError("tree needs n >= 1")
+    if n == 1:
+        return WeightedGraph.empty(1)
+    rng = _rng(seed)
+    children = np.arange(1, n, dtype=np.int64)
+    parents = (rng.random(n - 1) * children).astype(np.int64)
+    return WeightedGraph(n, parents, children)
+
+
+def disjoint_edges(k: int) -> WeightedGraph:
+    """Perfect matching on ``2k`` vertices.  OPT(unweighted) = k."""
+    k = int(k)
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    u = np.arange(0, 2 * k, 2, dtype=np.int64)
+    return WeightedGraph(2 * k, u, u + 1)
+
+
+def planted_cover(
+    n: int,
+    cover_size: int,
+    avg_degree: float,
+    *,
+    seed: SeedLike = None,
+) -> WeightedGraph:
+    """Graph whose edges all touch a planted vertex set ``0..cover_size-1``.
+
+    Every edge has at least one endpoint in the planted set, so the planted
+    set is a vertex cover; with weights that make it cheap (see
+    :func:`repro.graphs.weights.planted_cover_weights`) it is near-optimal,
+    giving instances with a known reference solution at any scale.
+    """
+    n = int(n)
+    k = int(cover_size)
+    if not (1 <= k <= n):
+        raise ValueError(f"cover_size must lie in [1, {n}]")
+    target_m = int(avg_degree * n / 2)
+    rng = _rng(seed)
+    if target_m == 0:
+        return WeightedGraph.empty(n)
+    u = rng.integers(0, k, size=2 * target_m, dtype=np.int64)
+    v = rng.integers(0, n, size=2 * target_m, dtype=np.int64)
+    keep = u != v
+    u, v = u[keep][:target_m], v[keep][:target_m]
+    return WeightedGraph(n, u, v)

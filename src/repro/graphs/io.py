@@ -1,0 +1,90 @@
+"""Graph serialization.
+
+Two formats:
+
+* **NPZ** (binary, lossless, fast) — the native format for benchmark
+  workload caching: endpoint arrays + weights in one compressed file.
+* **Text edge list** (interoperable) — ``n`` and per-vertex weights in a
+  header, one ``u v`` pair per line; loadable by standard tooling.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+
+__all__ = ["save_npz", "load_npz", "save_edgelist", "load_edgelist"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_FORMAT_VERSION = 1
+
+
+def save_npz(graph: WeightedGraph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` in compressed NPZ form."""
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        n=np.int64(graph.n),
+        edges_u=graph.edges_u,
+        edges_v=graph.edges_v,
+        weights=graph.weights,
+    )
+
+
+def load_npz(path: PathLike) -> WeightedGraph:
+    """Read a graph previously written by :func:`save_npz`."""
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported graph file version {version}")
+        return WeightedGraph(int(data["n"]), data["edges_u"], data["edges_v"], data["weights"])
+
+
+def save_edgelist(graph: WeightedGraph, path: PathLike) -> None:
+    """Write a human-readable edge list.
+
+    Format::
+
+        # mwvc-edgelist v1
+        n <num_vertices> m <num_edges>
+        w <w_0> <w_1> ... <w_{n-1}>
+        <u> <v>
+        ...
+    """
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write("# mwvc-edgelist v1\n")
+        fh.write(f"n {graph.n} m {graph.m}\n")
+        fh.write("w " + " ".join(repr(float(w)) for w in graph.weights) + "\n")
+        for u, v in zip(graph.edges_u, graph.edges_v):
+            fh.write(f"{int(u)} {int(v)}\n")
+
+
+def load_edgelist(path: PathLike) -> WeightedGraph:
+    """Read a graph previously written by :func:`save_edgelist`."""
+    with open(path, "r", encoding="ascii") as fh:
+        header = fh.readline().strip()
+        if header != "# mwvc-edgelist v1":
+            raise ValueError(f"unrecognized edgelist header: {header!r}")
+        sizes = fh.readline().split()
+        if len(sizes) != 4 or sizes[0] != "n" or sizes[2] != "m":
+            raise ValueError(f"malformed size line: {sizes!r}")
+        n, m = int(sizes[1]), int(sizes[3])
+        wline = fh.readline().split()
+        if not wline or wline[0] != "w":
+            raise ValueError("missing weight line")
+        weights = np.asarray([float(x) for x in wline[1:]], dtype=np.float64)
+        if weights.size != n:
+            raise ValueError(f"expected {n} weights, found {weights.size}")
+        us = np.empty(m, dtype=np.int64)
+        vs = np.empty(m, dtype=np.int64)
+        for i in range(m):
+            parts = fh.readline().split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed edge line {i}: {parts!r}")
+            us[i], vs[i] = int(parts[0]), int(parts[1])
+    return WeightedGraph(n, us, vs, weights)

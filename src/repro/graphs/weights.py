@@ -1,0 +1,129 @@
+"""Vertex-weight models.
+
+The weighted vertex cover problem only diverges from the cardinality case
+when weights are heterogeneous; these generators produce the regimes the
+paper's techniques target:
+
+* :func:`uniform_weights` / :func:`constant_weights` — mild or no spread;
+  sanity baselines where weighted and unweighted behaviour coincide.
+* :func:`exponential_weights` — moderate spread.
+* :func:`adversarial_spread_weights` — log-uniform over many orders of
+  magnitude.  This is the regime where the classic ``x_e = 1/n``
+  initialization needs ``O(log(Wn))`` iterations (Proposition 3.4 discussion)
+  and the paper's degree-scaled initialization keeps ``O(log Δ)``.
+* :func:`degree_correlated_weights` — weight grows with degree, making
+  high-degree vertices expensive; stresses the primal-dual freeze order.
+* :func:`planted_cover_weights` — cheap planted cover, expensive remainder;
+  paired with :func:`repro.graphs.generators.planted_cover`.
+
+All return strictly positive float64 arrays and are deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.utils.rng import SeedLike, spawn_rng, PURPOSE_WEIGHTS
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "constant_weights",
+    "uniform_weights",
+    "exponential_weights",
+    "adversarial_spread_weights",
+    "degree_correlated_weights",
+    "planted_cover_weights",
+    "WEIGHT_MODELS",
+    "make_weights",
+]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    return spawn_rng(seed, PURPOSE_WEIGHTS)
+
+
+def constant_weights(n: int, value: float = 1.0, *, seed: SeedLike = None) -> np.ndarray:
+    """All weights equal to ``value`` (> 0); the unweighted special case."""
+    check_positive("value", value)
+    return np.full(int(n), float(value), dtype=np.float64)
+
+
+def uniform_weights(
+    n: int, low: float = 1.0, high: float = 10.0, *, seed: SeedLike = None
+) -> np.ndarray:
+    """Weights uniform on ``[low, high]`` with ``0 < low <= high``."""
+    check_positive("low", low)
+    if high < low:
+        raise ValueError(f"need low <= high, got {low} > {high}")
+    return _rng(seed).uniform(low, high, size=int(n))
+
+
+def exponential_weights(n: int, scale: float = 1.0, *, seed: SeedLike = None) -> np.ndarray:
+    """Weights ``1 + Exp(scale)`` — positive with a moderate right tail."""
+    check_positive("scale", scale)
+    return 1.0 + _rng(seed).exponential(scale, size=int(n))
+
+
+def adversarial_spread_weights(
+    n: int, orders_of_magnitude: float = 9.0, *, seed: SeedLike = None
+) -> np.ndarray:
+    """Log-uniform weights spanning ``orders_of_magnitude`` decades.
+
+    ``w = 10^{U[0, orders_of_magnitude]}``; with the default 9 decades the
+    weight ratio ``W = max w / min w`` reaches ``1e9``, the regime where the
+    uniform dual initialization pays ``O(log(Wn))`` iterations.
+    """
+    check_positive("orders_of_magnitude", orders_of_magnitude)
+    return 10.0 ** _rng(seed).uniform(0.0, float(orders_of_magnitude), size=int(n))
+
+
+def degree_correlated_weights(
+    graph: WeightedGraph, alpha: float = 1.0, noise: float = 0.25, *, seed: SeedLike = None
+) -> np.ndarray:
+    """Weights ``(1 + deg(v))^alpha * (1 + U[0, noise])``.
+
+    With ``alpha = 1`` a vertex's weight tracks its coverage value, removing
+    the easy win of buying hubs cheaply; the primal-dual schedule must then
+    genuinely balance weight against degree.
+    """
+    if noise < 0:
+        raise ValueError(f"noise must be >= 0, got {noise}")
+    base = (1.0 + graph.degrees.astype(np.float64)) ** float(alpha)
+    jitter = 1.0 + _rng(seed).uniform(0.0, float(noise), size=graph.n)
+    return base * jitter
+
+
+def planted_cover_weights(
+    n: int, cover_size: int, cheap: float = 1.0, expensive: float = 100.0, *, seed: SeedLike = None
+) -> np.ndarray:
+    """Cheap weights on the planted cover ``0..cover_size-1``, expensive
+    elsewhere, with ±10% jitter to break ties."""
+    check_positive("cheap", cheap)
+    check_positive("expensive", expensive)
+    k = int(cover_size)
+    if not (0 <= k <= n):
+        raise ValueError(f"cover_size must lie in [0, {n}]")
+    w = np.full(int(n), float(expensive), dtype=np.float64)
+    w[:k] = float(cheap)
+    return w * (1.0 + 0.1 * _rng(seed).uniform(-1.0, 1.0, size=int(n)))
+
+
+#: Registry used by the experiment harness; values are
+#: ``f(graph, seed) -> weights`` closures over default parameters.
+WEIGHT_MODELS = {
+    "constant": lambda g, seed=None: constant_weights(g.n, seed=seed),
+    "uniform": lambda g, seed=None: uniform_weights(g.n, seed=seed),
+    "exponential": lambda g, seed=None: exponential_weights(g.n, seed=seed),
+    "adversarial": lambda g, seed=None: adversarial_spread_weights(g.n, seed=seed),
+    "degree_correlated": lambda g, seed=None: degree_correlated_weights(g, seed=seed),
+}
+
+
+def make_weights(model: str, graph: WeightedGraph, *, seed: SeedLike = None) -> np.ndarray:
+    """Look up ``model`` in :data:`WEIGHT_MODELS` and generate weights."""
+    try:
+        fn = WEIGHT_MODELS[model]
+    except KeyError:
+        raise ValueError(f"unknown weight model {model!r}; known: {sorted(WEIGHT_MODELS)}") from None
+    return fn(graph, seed=seed)

@@ -1,0 +1,37 @@
+"""MPC cluster simulator: machines, synchronous rounds, model-cost accounting."""
+
+from repro.mpc.cluster import Cluster
+from repro.mpc.exceptions import (
+    CommunicationLimitExceeded,
+    DeadMachineError,
+    MemoryLimitExceeded,
+    MPCError,
+    ProtocolError,
+)
+from repro.mpc.machine import Machine
+from repro.mpc.message import Message, payload_words
+from repro.mpc.metrics import ClusterMetrics, RoundRecord
+from repro.mpc.partition import assignment_counts, local_edge_mask, random_assignment
+from repro.mpc.primitives import aggregate_sum, broadcast, gather_concat, route, tree_fanout
+
+__all__ = [
+    "Cluster",
+    "Machine",
+    "Message",
+    "payload_words",
+    "ClusterMetrics",
+    "RoundRecord",
+    "MPCError",
+    "MemoryLimitExceeded",
+    "CommunicationLimitExceeded",
+    "DeadMachineError",
+    "ProtocolError",
+    "random_assignment",
+    "assignment_counts",
+    "local_edge_mask",
+    "broadcast",
+    "aggregate_sum",
+    "gather_concat",
+    "route",
+    "tree_fanout",
+]

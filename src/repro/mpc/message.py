@@ -1,0 +1,68 @@
+"""Messages and word-size accounting.
+
+The MPC model measures communication in *words* (machine-word-sized units,
+enough for a vertex id, an edge id, or a fixed-precision weight).  The
+simulator charges every message by :func:`payload_words` so that round
+capacities can be enforced exactly, independent of Python's actual object
+sizes.
+
+Charging rules (documented because benchmarks report these numbers):
+
+* a numpy array costs one word per element;
+* a Python scalar (int / float / bool / numpy scalar) costs one word;
+* tuples / lists / dicts cost the sum of their items (dicts: keys + values);
+* ``None`` is free (it encodes "no payload");
+* strings cost ``ceil(len/8)`` words (8 ASCII characters per 64-bit word).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Message", "payload_words"]
+
+
+def payload_words(payload: Any) -> int:
+    """Number of machine words needed to transmit ``payload``."""
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.size)
+    if isinstance(payload, (bool, int, float, np.integer, np.floating, np.bool_)):
+        return 1
+    if isinstance(payload, str):
+        return (len(payload) + 7) // 8
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_words(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(payload_words(k) + payload_words(v) for k, v in payload.items())
+    raise TypeError(f"cannot size payload of type {type(payload).__name__}")
+
+
+@dataclass(frozen=True)
+class Message:
+    """A point-to-point message for one synchronous round.
+
+    Attributes
+    ----------
+    src, dst:
+        Machine ids (``0 .. num_machines-1``).
+    tag:
+        Application-level routing tag (e.g. ``"edges"``, ``"freeze"``).
+    payload:
+        Any sizeable object (see :func:`payload_words`).
+    words:
+        Cached size; computed automatically.
+    """
+
+    src: int
+    dst: int
+    tag: str
+    payload: Any = None
+    words: int = field(init=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "words", payload_words(self.payload))

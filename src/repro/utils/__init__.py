@@ -1,0 +1,26 @@
+"""Shared utilities: seeded RNG streams, validation helpers, timers.
+
+The algorithms in :mod:`repro` are randomized; reproducibility is achieved by
+deriving every random draw from a :class:`numpy.random.SeedSequence` spawned
+along a documented path (run -> phase -> purpose).  See :mod:`repro.utils.rng`.
+"""
+
+from repro.utils.rng import RngFactory, as_seed_sequence, spawn_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    ensure_int_array,
+    ensure_float_array,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_seed_sequence",
+    "spawn_rng",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "ensure_int_array",
+    "ensure_float_array",
+]

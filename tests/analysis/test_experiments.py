@@ -1,0 +1,88 @@
+"""Smoke + shape tests for the experiment runners (small configurations;
+the full configurations run in benchmarks/)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    experiment_ablations,
+    experiment_approximation,
+    experiment_centralized_iterations,
+    experiment_congested_clique,
+    experiment_degree_reduction,
+    experiment_deviation,
+    experiment_engine_agreement,
+    experiment_memory,
+    experiment_round_complexity,
+    experiment_vs_local_baseline,
+    experiment_weighted_vs_unweighted,
+    make_workload,
+)
+
+
+class TestWorkloads:
+    def test_gnp(self):
+        g = make_workload("gnp", 200, 10.0, "uniform", seed=1)
+        assert g.n == 200 and (g.weights > 0).all()
+
+    def test_power_law(self):
+        g = make_workload("power_law", 200, 8.0, "exponential", seed=2)
+        assert g.n == 200
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            make_workload("hypercube", 10, 2.0, "uniform", seed=0)
+
+
+class TestRunnersProduceRows:
+    def test_e1(self):
+        rows = experiment_round_complexity(ns=(800,), degrees=(16.0,), trials=1)
+        assert rows and rows[0]["phases_mean"] >= 1
+
+    def test_e2(self):
+        rows = experiment_approximation(
+            eps_values=(0.1,), weight_models=("uniform",), n_small=20, n_medium=300,
+            trials=1,
+        )
+        assert rows and rows[0]["within_bound"]
+
+    def test_e3(self):
+        rows = experiment_memory(n=800, degrees=(32.0,), trials=1)
+        assert rows and rows[0]["max_machine_edges_over_n"] <= 2.0
+
+    def test_e4(self):
+        rows = experiment_degree_reduction(n=800, avg_degree=32.0, families=("gnp",))
+        assert rows
+        assert all(r["max_out_degree_bound_ratio"] <= 1.0 + 1e-9 for r in rows)
+
+    def test_e5(self):
+        rows = experiment_centralized_iterations(
+            n=400, degrees=(16.0,), weight_spreads=(9.0,)
+        )
+        assert rows and rows[0]["iters_uniform"] > rows[0]["iters_degree_scaled"]
+
+    def test_e6(self):
+        rows = experiment_deviation(n=600, degrees=(32.0,), trials=1)
+        assert rows and rows[0]["max_dev"] >= 0.0
+
+    def test_e7(self):
+        rows = experiment_vs_local_baseline(ns=(600,), avg_degree=16.0)
+        assert rows and rows[0]["baseline_rounds"] > rows[0]["ours_phases"]
+
+    def test_e8(self):
+        rows = experiment_weighted_vs_unweighted(
+            n=400, avg_degree=12.0, weight_models=("adversarial",), trials=1
+        )
+        assert rows and rows[0]["unweighted_over_weighted_mean"] > 0
+
+    def test_e9(self):
+        rows = experiment_ablations(n=400, avg_degree=16.0, trials=1)
+        assert len(rows) == 4
+
+    def test_e10(self):
+        rows = experiment_congested_clique(ns=(200,), avg_degree=8.0)
+        assert rows and rows[0]["cc_rounds"] > rows[0]["mpc_rounds"]
+
+    def test_e11(self):
+        rows = experiment_engine_agreement(ns=(150,), degrees=(10.0,))
+        assert rows
+        assert all(r["covers_equal"] and r["rounds_equal"] for r in rows)

@@ -1,0 +1,77 @@
+"""Tests for table rendering and trial statistics."""
+
+import pytest
+
+from repro.analysis.stats import geometric_mean, summarize
+from repro.analysis.tables import format_cell, render_table
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.count == 3
+
+    def test_single_value_zero_std(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_format(self):
+        assert "±" in f"{summarize([1.0, 2.0]):.2f}"
+
+    def test_as_dict(self):
+        assert set(summarize([1.0]).as_dict()) == {"mean", "std", "min", "max", "n"}
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestFormatCell:
+    def test_floats(self):
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(1e-7) == "1.000e-07"
+        assert format_cell(0.0) == "0"
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell(float("inf")) == "inf"
+
+    def test_bools_and_ints(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_structure(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        out = render_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5  # title + header + sep + 2 rows
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        out = render_table(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_empty(self):
+        assert "(empty)" in render_table([], title="x")
+
+    def test_missing_keys_blank(self):
+        out = render_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert out  # renders without raising

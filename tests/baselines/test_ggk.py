@@ -1,0 +1,45 @@
+"""Tests for the unweighted (GGK-style) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ggk_unweighted import unweighted_mpc_vertex_cover
+from repro.core.mpc_mwvc import minimum_weight_vertex_cover
+from repro.graphs.generators import gnp_average_degree, star
+from repro.graphs.weights import uniform_weights
+
+
+class TestUnweightedBaseline:
+    def test_returns_cover(self, medium_random):
+        res = unweighted_mpc_vertex_cover(medium_random, eps=0.1, seed=0)
+        assert medium_random.is_vertex_cover(res.in_cover)
+
+    def test_true_weight_uses_real_weights(self, medium_random):
+        res = unweighted_mpc_vertex_cover(medium_random, eps=0.1, seed=1)
+        assert res.true_weight == pytest.approx(
+            float(medium_random.weights[res.in_cover].sum())
+        )
+
+    def test_ignores_weights(self):
+        """Same topology, different weights => same cover (it cannot see
+        them)."""
+        g1 = gnp_average_degree(300, 12.0, seed=2)
+        g1 = g1.with_weights(uniform_weights(g1.n, seed=3))
+        g2 = g1.with_weights(uniform_weights(g1.n, seed=4))
+        a = unweighted_mpc_vertex_cover(g1, eps=0.1, seed=5)
+        b = unweighted_mpc_vertex_cover(g2, eps=0.1, seed=5)
+        assert np.array_equal(a.in_cover, b.in_cover)
+
+    def test_weighted_algorithm_beats_it_on_heavy_hub(self):
+        """The motivating separation: a star whose hub is expensive.  The
+        cardinality algorithm buys the hub (cover size 1); the weighted
+        algorithm buys the leaves."""
+        g = star(50)
+        w = np.ones(50)
+        w[0] = 1000.0
+        g = g.with_weights(w)
+        ggk = unweighted_mpc_vertex_cover(g, eps=0.05, seed=6)
+        ours = minimum_weight_vertex_cover(g, eps=0.05, seed=6)
+        assert ggk.true_weight >= 1000.0  # bought the hub
+        assert ours.cover_weight < 200.0  # bought (most of) the leaves
+        assert ggk.true_weight / ours.cover_weight > 5.0

@@ -1,0 +1,47 @@
+"""Tests for the greedy heuristic."""
+
+import pytest
+
+from repro.baselines.greedy import greedy_vertex_cover
+from repro.graphs.generators import star
+from repro.graphs.graph import WeightedGraph
+
+
+class TestGreedy:
+    def test_returns_cover(self, named_graph):
+        res = greedy_vertex_cover(named_graph)
+        assert named_graph.is_vertex_cover(res.in_cover)
+
+    def test_unweighted_star_takes_hub(self):
+        res = greedy_vertex_cover(star(10))
+        assert res.in_cover[0]
+        assert res.cover_weight == 1.0
+        assert res.picks == 1
+
+    def test_cheap_hub_preferred(self, cheap_hub_star):
+        res = greedy_vertex_cover(cheap_hub_star)
+        assert res.in_cover[0]
+        assert res.cover_weight == pytest.approx(1.0)
+
+    def test_expensive_hub_still_taken_when_effective(self, weighted_star):
+        # hub ratio 10/5=2 vs leaf ratio 1/1=1: greedy takes leaves.
+        res = greedy_vertex_cover(weighted_star)
+        assert res.cover_weight == pytest.approx(5.0)
+
+    def test_empty_graph(self):
+        res = greedy_vertex_cover(WeightedGraph.empty(3))
+        assert not res.in_cover.any()
+        assert res.picks == 0
+
+    def test_isolated_vertices_skipped(self):
+        g = WeightedGraph.from_edge_list(4, [(0, 1)])
+        res = greedy_vertex_cover(g)
+        assert not res.in_cover[2] and not res.in_cover[3]
+
+    def test_medium_random_reasonable(self, medium_random):
+        from repro.baselines.lp import lp_relaxation
+
+        res = greedy_vertex_cover(medium_random)
+        lp = lp_relaxation(medium_random).lp_value
+        # no 2-approx guarantee, but it should not be catastrophically bad
+        assert res.cover_weight <= 4.0 * lp

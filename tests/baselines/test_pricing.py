@@ -1,0 +1,71 @@
+"""Tests for the Bar-Yehuda–Even pricing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import exact_mwvc
+from repro.baselines.pricing import pricing_vertex_cover
+from repro.core.certificates import fractional_matching_violation
+from repro.graphs.generators import gnp_average_degree
+from repro.graphs.weights import uniform_weights
+
+
+class TestPricing:
+    def test_returns_cover(self, named_graph):
+        res = pricing_vertex_cover(named_graph)
+        assert named_graph.is_vertex_cover(res.in_cover)
+
+    def test_duals_feasible(self, named_graph):
+        res = pricing_vertex_cover(named_graph)
+        assert fractional_matching_violation(named_graph, res.x) <= 1.0 + 1e-12
+
+    def test_factor_two_vs_dual(self, medium_random):
+        res = pricing_vertex_cover(medium_random)
+        assert res.cover_weight <= 2.0 * res.dual_value + 1e-9
+
+    def test_factor_two_vs_exact(self):
+        for seed in range(5):
+            g = gnp_average_degree(30, 5.0, seed=seed)
+            g = g.with_weights(uniform_weights(g.n, 1.0, 9.0, seed=seed + 1))
+            res = pricing_vertex_cover(g)
+            opt = exact_mwvc(g).opt_weight
+            assert res.cover_weight <= 2.0 * opt + 1e-9
+
+    def test_single_edge_takes_cheaper(self):
+        from repro.graphs.graph import WeightedGraph
+
+        g = WeightedGraph.from_edge_list(2, [(0, 1)], weights=[2.0, 7.0])
+        res = pricing_vertex_cover(g)
+        assert res.in_cover[0] and not res.in_cover[1]
+        assert res.dual_value == pytest.approx(2.0)
+
+    def test_cheap_hub_star(self, cheap_hub_star):
+        res = pricing_vertex_cover(cheap_hub_star)
+        assert res.in_cover[0]
+        assert res.cover_weight <= 2.0  # just the hub (w=1), maybe + nothing
+
+    def test_empty_graph(self):
+        from repro.graphs.graph import WeightedGraph
+
+        res = pricing_vertex_cover(WeightedGraph.empty(4))
+        assert not res.in_cover.any()
+        assert res.dual_value == 0.0
+
+    def test_orders_all_valid(self, medium_random):
+        for order in ("input", "random", "heavy_first"):
+            res = pricing_vertex_cover(medium_random, order=order, seed=3)
+            assert medium_random.is_vertex_cover(res.in_cover)
+            assert res.cover_weight <= 2.0 * res.dual_value + 1e-9
+
+    def test_random_order_deterministic_per_seed(self, small_random):
+        a = pricing_vertex_cover(small_random, order="random", seed=5)
+        b = pricing_vertex_cover(small_random, order="random", seed=5)
+        assert np.array_equal(a.in_cover, b.in_cover)
+
+    def test_unknown_order(self, triangle):
+        with pytest.raises(ValueError, match="unknown order"):
+            pricing_vertex_cover(triangle, order="sideways")
+
+    def test_weight_override(self, triangle):
+        res = pricing_vertex_cover(triangle, weights=np.array([1.0, 5.0, 5.0]))
+        assert triangle.is_vertex_cover(res.in_cover)

@@ -1,0 +1,111 @@
+"""Tests for matching extraction and matching-based lower bounds."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import exact_mwvc
+from repro.core.matching import (
+    combined_lower_bound,
+    extract_matching,
+    greedy_maximal_matching,
+    is_matching,
+    matching_lower_bound,
+)
+from repro.core.mpc_mwvc import minimum_weight_vertex_cover
+from repro.graphs.generators import cycle, disjoint_edges, gnp_average_degree, star
+from repro.graphs.weights import uniform_weights
+
+
+class TestIsMatching:
+    def test_disjoint_edges(self):
+        g = disjoint_edges(3)
+        assert is_matching(g, np.ones(3, dtype=bool))
+
+    def test_star_overlap(self):
+        g = star(4)
+        mask = np.ones(3, dtype=bool)
+        assert not is_matching(g, mask)
+        mask = np.array([True, False, False])
+        assert is_matching(g, mask)
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            is_matching(star(4), np.ones(5, dtype=bool))
+
+
+class TestExtractMatching:
+    def test_result_is_matching(self, medium_random):
+        x = np.random.default_rng(0).random(medium_random.m)
+        mask = extract_matching(medium_random, x)
+        assert is_matching(medium_random, mask)
+
+    def test_maximality(self, medium_random):
+        """No remaining edge has both endpoints unmatched."""
+        x = np.random.default_rng(1).random(medium_random.m)
+        mask = extract_matching(medium_random, x)
+        matched = medium_random.incident_counts(mask) > 0
+        mu, mv = medium_random.endpoint_values(matched)
+        assert (mu | mv).all()
+
+    def test_prefers_high_duals(self):
+        g = star(4)
+        x = np.array([0.1, 5.0, 0.2])
+        mask = extract_matching(g, x)
+        assert mask.tolist() == [False, True, False]
+
+    def test_empty(self):
+        from repro.graphs.graph import WeightedGraph
+
+        g = WeightedGraph.empty(3)
+        assert extract_matching(g, np.empty(0)).size == 0
+
+
+class TestGreedyMaximalMatching:
+    def test_valid_and_maximal(self, medium_random):
+        mask = greedy_maximal_matching(medium_random, seed=2)
+        assert is_matching(medium_random, mask)
+        matched = medium_random.incident_counts(mask) > 0
+        mu, mv = medium_random.endpoint_values(matched)
+        assert (mu | mv).all()
+
+    def test_deterministic_per_seed(self, small_random):
+        a = greedy_maximal_matching(small_random, seed=5)
+        b = greedy_maximal_matching(small_random, seed=5)
+        assert np.array_equal(a, b)
+
+
+class TestMatchingLowerBound:
+    def test_sound_vs_exact(self):
+        for seed in range(4):
+            g = gnp_average_degree(28, 5.0, seed=seed)
+            g = g.with_weights(uniform_weights(g.n, 1.0, 9.0, seed=seed + 9))
+            mask = greedy_maximal_matching(g, seed=seed)
+            lb = matching_lower_bound(g, mask)
+            assert lb <= exact_mwvc(g).opt_weight + 1e-9
+
+    def test_cycle_value(self):
+        g = cycle(6)
+        # canonical edge order: (0,1),(0,5),(1,2),(2,3),(3,4),(4,5);
+        # pick the perfect matching {(0,1),(2,3),(4,5)}.
+        mask = np.array([True, False, False, True, False, True])
+        assert matching_lower_bound(g, mask) == pytest.approx(3.0)
+
+    def test_non_matching_rejected(self):
+        g = star(4)
+        with pytest.raises(ValueError, match="not a matching"):
+            matching_lower_bound(g, np.ones(3, dtype=bool))
+
+
+class TestCombinedBound:
+    def test_sound_and_at_least_dual(self, medium_random):
+        res = minimum_weight_vertex_cover(medium_random, eps=0.1, seed=3)
+        combined = combined_lower_bound(medium_random, res.x)
+        assert combined >= res.certificate.opt_lower_bound - 1e-9
+        assert combined <= res.cover_weight + 1e-9
+
+    def test_sound_vs_exact_small(self):
+        for seed in range(3):
+            g = gnp_average_degree(26, 5.0, seed=seed)
+            g = g.with_weights(uniform_weights(g.n, 1.0, 9.0, seed=seed + 14))
+            res = minimum_weight_vertex_cover(g, eps=0.1, seed=seed)
+            assert combined_lower_bound(g, res.x) <= exact_mwvc(g).opt_weight + 1e-9

@@ -1,0 +1,92 @@
+"""Tests for the orientation diagnostics (Observation 4.3 / Lemma 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mpc_mwvc import minimum_weight_vertex_cover
+from repro.core.orientation import orient_edges, orientation_report
+from repro.core.params import MPCParameters
+from repro.core.phase_kernel import GlobalState, apply_outcome
+from repro.graphs.generators import gnp_average_degree
+from repro.graphs.weights import uniform_weights
+
+
+@pytest.fixture
+def traced_run():
+    g = gnp_average_degree(1200, 48.0, seed=21)
+    g = g.with_weights(uniform_weights(g.n, seed=22))
+    params = MPCParameters(eps=0.1)
+    res = minimum_weight_vertex_cover(g, params=params, seed=23, collect_trace=True)
+    assert res.traces
+    return g, params, res
+
+
+class TestOrientEdges:
+    def test_tail_ratio_is_x0(self, traced_run):
+        """The tail's ratio w'/d equals the edge's initial dual."""
+        g, params, res = traced_run
+        state = GlobalState.initial(g, g.weights)
+        plan, _ = res.traces[0]
+        resid_high = state.resid_degree[plan.high_ids]
+        tail_is_u = orient_edges(plan, resid_high)
+        ratio = plan.wprime_high / np.maximum(resid_high, 1)
+        tail_ratio = np.where(tail_is_u, ratio[plan.hu], ratio[plan.hv])
+        assert np.allclose(tail_ratio, plan.x0)
+
+    def test_empty_plan(self, traced_run):
+        g, params, res = traced_run
+        plan, _ = res.traces[0]
+        import dataclasses
+
+        empty = dataclasses.replace(
+            plan,
+            edges_high=np.empty(0, np.int64),
+            hu=np.empty(0, np.int64),
+            hv=np.empty(0, np.int64),
+            x0=np.empty(0),
+        )
+        assert orient_edges(empty, np.empty(0)).size == 0
+
+
+class TestOrientationReport:
+    def test_observation_4_3_holds(self, traced_run):
+        """Active out-degree ≤ d(v)·(1-ε)^I — deterministic, must hold
+        exactly (ratio ≤ 1) every phase."""
+        g, params, res = traced_run
+        state = GlobalState.initial(g, g.weights)
+        for plan, outcome in res.traces:
+            resid_high = state.resid_degree[plan.high_ids]
+            rep = orientation_report(plan, outcome, params, resid_degree_high=resid_high)
+            assert rep.max_out_degree_bound_ratio <= 1.0 + 1e-9, (
+                f"phase {plan.phase_index}: Observation 4.3 violated"
+            )
+            apply_outcome(g, g.weights, state, plan, outcome)
+
+    def test_lemma_4_4_holds(self, traced_run):
+        """Surviving edges ≤ 2·n·d̄·(1-ε)^I (w.h.p.); at these sizes the
+        inactive-side slack makes it comfortably true."""
+        g, params, res = traced_run
+        state = GlobalState.initial(g, g.weights)
+        for plan, outcome in res.traces:
+            resid_high = state.resid_degree[plan.high_ids]
+            rep = orientation_report(plan, outcome, params, resid_degree_high=resid_high)
+            assert rep.lemma44_ratio <= 1.0
+            apply_outcome(g, g.weights, state, plan, outcome)
+
+    def test_report_shape(self, traced_run):
+        g, params, res = traced_run
+        state = GlobalState.initial(g, g.weights)
+        plan, outcome = res.traces[0]
+        rep = orientation_report(
+            plan, outcome, params, resid_degree_high=state.resid_degree[plan.high_ids]
+        )
+        d = rep.as_dict()
+        assert d["phase_index"] == 0
+        assert d["num_high"] == plan.num_high
+        assert d["surviving_edges"] >= 0
+
+    def test_misaligned_degrees_rejected(self, traced_run):
+        g, params, res = traced_run
+        plan, outcome = res.traces[0]
+        with pytest.raises(ValueError, match="align"):
+            orientation_report(plan, outcome, params, resid_degree_high=np.ones(3))

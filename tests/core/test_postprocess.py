@@ -1,0 +1,86 @@
+"""Tests for cover pruning."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import exact_mwvc
+from repro.core.mpc_mwvc import minimum_weight_vertex_cover
+from repro.core.postprocess import is_minimal_cover, prune_redundant_vertices
+from repro.graphs.generators import complete_graph, gnp_average_degree, star
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.weights import uniform_weights
+
+
+class TestPruneRedundant:
+    def test_full_cover_shrinks(self, triangle):
+        pruned = prune_redundant_vertices(triangle, np.ones(3, dtype=bool))
+        assert triangle.is_vertex_cover(pruned)
+        assert pruned.sum() == 2  # triangle needs exactly 2
+
+    def test_star_all_vertices(self):
+        g = star(6)
+        pruned = prune_redundant_vertices(g, np.ones(6, dtype=bool))
+        assert g.is_vertex_cover(pruned)
+        assert pruned.sum() == 1 and pruned[0]  # hub survives
+
+    def test_drops_least_effective_first(self):
+        g = complete_graph(3).with_weights(np.array([1.0, 2.0, 100.0]))
+        pruned = prune_redundant_vertices(g, np.ones(3, dtype=bool))
+        assert not pruned[2]  # worst weight-per-edge goes first
+
+    def test_isolated_cover_vertices_dropped(self):
+        g = WeightedGraph.from_edge_list(4, [(0, 1)])
+        mask = np.array([True, False, True, True])
+        pruned = prune_redundant_vertices(g, mask)
+        assert pruned.tolist() == [True, False, False, False]
+
+    def test_never_heavier(self, medium_random):
+        res = minimum_weight_vertex_cover(medium_random, eps=0.1, seed=1)
+        pruned = prune_redundant_vertices(medium_random, res.in_cover)
+        assert medium_random.is_vertex_cover(pruned)
+        assert (
+            medium_random.cover_weight(pruned)
+            <= medium_random.cover_weight(res.in_cover) + 1e-12
+        )
+
+    def test_result_minimal(self, medium_random):
+        res = minimum_weight_vertex_cover(medium_random, eps=0.1, seed=2)
+        pruned = prune_redundant_vertices(medium_random, res.in_cover)
+        assert is_minimal_cover(medium_random, pruned)
+
+    def test_non_cover_rejected(self, triangle):
+        with pytest.raises(ValueError, match="not a vertex cover"):
+            prune_redundant_vertices(triangle, np.zeros(3, dtype=bool))
+
+    def test_input_unchanged(self, triangle):
+        mask = np.ones(3, dtype=bool)
+        prune_redundant_vertices(triangle, mask)
+        assert mask.all()
+
+    def test_improves_mpc_covers_measurably(self):
+        """On random graphs the primal–dual cover carries real slack."""
+        g = gnp_average_degree(800, 20.0, seed=3)
+        g = g.with_weights(uniform_weights(g.n, seed=4))
+        res = minimum_weight_vertex_cover(g, eps=0.1, seed=5)
+        pruned = prune_redundant_vertices(g, res.in_cover)
+        assert g.cover_weight(pruned) < res.cover_weight
+
+    def test_preserves_optimality(self):
+        """Pruning an optimal cover keeps it optimal (never below OPT)."""
+        for seed in range(3):
+            g = gnp_average_degree(24, 4.0, seed=seed)
+            g = g.with_weights(uniform_weights(g.n, 1.0, 5.0, seed=seed + 7))
+            opt = exact_mwvc(g)
+            pruned = prune_redundant_vertices(g, opt.in_cover)
+            assert g.cover_weight(pruned) == pytest.approx(opt.opt_weight)
+
+
+class TestIsMinimal:
+    def test_non_cover_not_minimal(self, triangle):
+        assert not is_minimal_cover(triangle, np.zeros(3, dtype=bool))
+
+    def test_full_triangle_not_minimal(self, triangle):
+        assert not is_minimal_cover(triangle, np.ones(3, dtype=bool))
+
+    def test_two_of_three_minimal(self, triangle):
+        assert is_minimal_cover(triangle, np.array([True, True, False]))

@@ -1,0 +1,145 @@
+"""Tests for kernelization and the preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import exact_mwvc
+from repro.core.mpc_mwvc import minimum_weight_vertex_cover
+from repro.core.preprocess import (
+    leaf_reduction,
+    nemhauser_trotter_reduction,
+    solve_with_preprocessing,
+)
+from repro.graphs.generators import gnp_average_degree, random_tree, star
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.weights import uniform_weights
+
+
+class TestLeafReduction:
+    def test_star_collapses(self):
+        """Unit-weight star: hub forced, all leaves removed, empty kernel."""
+        red = leaf_reduction(star(8))
+        assert red.forced_in[0]
+        assert red.forced_in.sum() == 1
+        assert red.removed[1:].all()
+        assert not red.kernel_mask.any()
+
+    def test_heavy_hub_not_forced(self):
+        """Leaf rule requires w(u) <= w(leaf); an expensive hub with cheap
+        leaves is NOT forced (taking it may be suboptimal)."""
+        g = star(4).with_weights(np.array([100.0, 1.0, 1.0, 1.0]))
+        red = leaf_reduction(g)
+        assert not red.forced_in[0]
+        assert red.kernel_mask.sum() == 4  # nothing decided
+
+    def test_tree_solves_fully_unweighted(self):
+        """On unit-weight trees the leaf rule alone often empties the
+        kernel; where it does, the forced set is optimal."""
+        g = random_tree(200, seed=1)
+        red = leaf_reduction(g)
+        if not red.kernel_mask.any():
+            opt = exact_mwvc(g.induced_subgraph(np.arange(min(g.n, 40)))[0]) if False else None
+            # forced set must be a cover of the tree
+            assert g.is_vertex_cover(red.forced_in)
+
+    def test_path_chain(self):
+        """Path a-b-c-d with unit weights: leaf rule forces b (and then d's
+        neighbor c), solving it exactly."""
+        g = WeightedGraph.from_edge_list(4, [(0, 1), (1, 2), (2, 3)])
+        red = leaf_reduction(g)
+        assert g.is_vertex_cover(red.forced_in | red.kernel_mask * False) or red.kernel_mask.any()
+        # with the kernel solved trivially, total cover is optimal (=2)
+        forced_weight = float(g.weights[red.forced_in].sum())
+        assert forced_weight <= 2.0
+
+    def test_preserves_optimum(self):
+        """forced_in extends to an optimal cover: OPT(G) equals
+        w(forced) + OPT(kernel)."""
+        for seed in range(4):
+            g = gnp_average_degree(24, 2.5, seed=seed)
+            g = g.with_weights(uniform_weights(g.n, 1.0, 5.0, seed=seed + 40))
+            red = leaf_reduction(g)
+            opt_full = exact_mwvc(g).opt_weight
+            kernel, kids, _ = g.induced_subgraph(red.kernel_mask)
+            opt_kernel = exact_mwvc(kernel).opt_weight if kernel.m else 0.0
+            forced_weight = float(g.weights[red.forced_in].sum())
+            assert forced_weight + opt_kernel == pytest.approx(opt_full)
+
+
+class TestNTReduction:
+    def test_preserves_optimum(self):
+        for seed in range(4):
+            g = gnp_average_degree(26, 4.0, seed=seed)
+            g = g.with_weights(uniform_weights(g.n, 1.0, 5.0, seed=seed + 60))
+            red = nemhauser_trotter_reduction(g)
+            opt_full = exact_mwvc(g).opt_weight
+            kernel, _, _ = g.induced_subgraph(red.kernel_mask)
+            opt_kernel = exact_mwvc(kernel).opt_weight if kernel.m else 0.0
+            forced_weight = float(g.weights[red.forced_in].sum())
+            assert forced_weight + opt_kernel == pytest.approx(opt_full, rel=1e-5)
+
+    def test_kernel_is_half_integral_region(self):
+        g = gnp_average_degree(40, 5.0, seed=9)
+        red = nemhauser_trotter_reduction(g)
+        # removed vertices have no edges into other removed vertices
+        ru, rv = g.endpoint_values(red.removed)
+        assert not (ru & rv).any()
+
+    def test_bipartite_fully_decided(self):
+        """Kőnig: bipartite LPs have integral optima, so the kernel can be
+        empty (HiGHS returns a vertex solution)."""
+        from repro.graphs.generators import complete_bipartite
+
+        red = nemhauser_trotter_reduction(complete_bipartite(3, 5))
+        assert red.forced_in.sum() == 3
+        assert not red.kernel_mask.any()
+
+
+class TestPipeline:
+    def _solver(self, sub):
+        return minimum_weight_vertex_cover(sub, eps=0.1, seed=0).in_cover
+
+    def test_produces_cover(self, medium_random):
+        cover = solve_with_preprocessing(medium_random, self._solver)
+        assert medium_random.is_vertex_cover(cover)
+
+    def test_with_nt(self):
+        g = gnp_average_degree(300, 6.0, seed=10)
+        g = g.with_weights(uniform_weights(g.n, seed=11))
+        cover = solve_with_preprocessing(g, self._solver, use_nt_reduction=True)
+        assert g.is_vertex_cover(cover)
+
+    def test_quality_not_worse_than_raw(self):
+        """Preprocessing must not degrade quality beyond the raw run's
+        certificate bound (it usually improves it)."""
+        g = gnp_average_degree(400, 5.0, seed=12)
+        g = g.with_weights(uniform_weights(g.n, seed=13))
+        raw = minimum_weight_vertex_cover(g, eps=0.1, seed=14)
+        pre = solve_with_preprocessing(
+            g, lambda s: minimum_weight_vertex_cover(s, eps=0.1, seed=14).in_cover
+        )
+        assert float(g.weights[pre].sum()) <= 1.1 * raw.cover_weight
+
+    def test_exact_through_pipeline_is_exact(self):
+        """With an exact kernel solver, the pipeline must return OPT —
+        certifying that the reductions are optimality-preserving."""
+        for seed in range(3):
+            g = gnp_average_degree(26, 3.0, seed=seed)
+            g = g.with_weights(uniform_weights(g.n, 1.0, 5.0, seed=seed + 80))
+            cover = solve_with_preprocessing(
+                g,
+                lambda s: exact_mwvc(s).in_cover,
+                use_nt_reduction=True,
+            )
+            assert float(g.weights[cover].sum()) == pytest.approx(
+                exact_mwvc(g).opt_weight, rel=1e-6
+            )
+
+    def test_empty_graph(self):
+        cover = solve_with_preprocessing(WeightedGraph.empty(5), self._solver)
+        assert not cover.any()
+
+    def test_isolated_vertices_excluded(self):
+        g = WeightedGraph.from_edge_list(5, [(0, 1)])
+        cover = solve_with_preprocessing(g, self._solver)
+        assert not cover[2:].any()

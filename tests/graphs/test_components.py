@@ -1,0 +1,77 @@
+"""Tests for connected-component utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.components import component_labels, largest_component, split_components
+from repro.graphs.generators import complete_graph, disjoint_edges, gnp_average_degree
+from repro.graphs.graph import WeightedGraph
+
+
+class TestComponentLabels:
+    def test_single_component(self):
+        count, labels = component_labels(complete_graph(5))
+        assert count == 1
+        assert (labels == labels[0]).all()
+
+    def test_matching_components(self):
+        count, labels = component_labels(disjoint_edges(4))
+        assert count == 4
+        for e in range(4):
+            assert labels[2 * e] == labels[2 * e + 1]
+
+    def test_isolated_singletons(self):
+        g = WeightedGraph.from_edge_list(5, [(0, 1)])
+        count, labels = component_labels(g)
+        assert count == 4  # {0,1}, {2}, {3}, {4}
+        assert labels[0] == labels[1]
+
+    def test_empty(self):
+        count, labels = component_labels(WeightedGraph.empty(0))
+        assert count == 0 and labels.size == 0
+
+    def test_edgeless(self):
+        count, labels = component_labels(WeightedGraph.empty(4))
+        assert count == 4
+        assert sorted(labels.tolist()) == [0, 1, 2, 3]
+
+
+class TestSplitComponents:
+    def test_sizes_descending(self):
+        g = WeightedGraph.from_edge_list(9, [(0, 1), (1, 2), (2, 3), (5, 6), (7, 8)])
+        parts = split_components(g)
+        sizes = [sub.n for sub, _, _ in parts]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[0] == 4
+
+    def test_isolated_skipped_by_default(self):
+        g = WeightedGraph.from_edge_list(4, [(0, 1)])
+        parts = split_components(g)
+        assert len(parts) == 1
+        parts_all = split_components(g, skip_isolated=False)
+        assert len(parts_all) == 3
+
+    def test_edges_partitioned(self):
+        g = gnp_average_degree(120, 1.5, seed=3)  # subcritical: many comps
+        parts = split_components(g)
+        total_edges = sum(sub.m for sub, _, _ in parts)
+        assert total_edges == g.m
+
+    def test_mapping_correct(self):
+        g = WeightedGraph.from_edge_list(6, [(0, 3), (1, 4)], weights=np.arange(1.0, 7.0))
+        for sub, vids, eids in split_components(g):
+            assert np.allclose(sub.weights, g.weights[vids])
+            for j in range(sub.m):
+                assert g.edges_u[eids[j]] == vids[sub.edges_u[j]]
+
+
+class TestLargestComponent:
+    def test_picks_largest(self):
+        g = WeightedGraph.from_edge_list(7, [(0, 1), (2, 3), (3, 4), (4, 5)])
+        sub, vids, _ = largest_component(g)
+        assert sub.n == 4
+        assert set(vids.tolist()) == {2, 3, 4, 5}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            largest_component(WeightedGraph.empty(0))

@@ -1,0 +1,82 @@
+"""Round-trip tests for graph serialization."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import gnp_average_degree
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.io import load_edgelist, load_npz, save_edgelist, save_npz
+from repro.graphs.weights import uniform_weights
+
+
+@pytest.fixture
+def sample():
+    g = gnp_average_degree(50, 6.0, seed=10)
+    return g.with_weights(uniform_weights(g.n, 0.5, 123.25, seed=11))
+
+
+class TestNpz:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(sample, path)
+        loaded = load_npz(path)
+        assert loaded == sample
+
+    def test_roundtrip_empty(self, tmp_path):
+        g = WeightedGraph.empty(4)
+        path = tmp_path / "e.npz"
+        save_npz(g, path)
+        assert load_npz(path) == g
+
+    def test_version_checked(self, sample, tmp_path):
+        path = tmp_path / "g.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(999),
+            n=np.int64(1),
+            edges_u=np.empty(0, np.int64),
+            edges_v=np.empty(0, np.int64),
+            weights=np.ones(1),
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_npz(path)
+
+
+class TestEdgelist:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edgelist(sample, path)
+        loaded = load_edgelist(path)
+        assert loaded == sample  # repr() of floats round-trips exactly
+
+    def test_roundtrip_empty(self, tmp_path):
+        g = WeightedGraph.empty(3)
+        path = tmp_path / "e.txt"
+        save_edgelist(g, path)
+        assert load_edgelist(path) == g
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("junk\n")
+        with pytest.raises(ValueError, match="header"):
+            load_edgelist(path)
+
+    def test_bad_size_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# mwvc-edgelist v1\nnope\n")
+        with pytest.raises(ValueError, match="size line"):
+            load_edgelist(path)
+
+    def test_truncated_edges(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edgelist(sample, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="edge line"):
+            load_edgelist(path)
+
+    def test_weight_count_checked(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# mwvc-edgelist v1\nn 3 m 0\nw 1.0 2.0\n")
+        with pytest.raises(ValueError, match="weights"):
+            load_edgelist(path)

@@ -1,0 +1,85 @@
+"""Unit tests for vertex-weight models."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import gnp_average_degree, star
+from repro.graphs.weights import (
+    WEIGHT_MODELS,
+    adversarial_spread_weights,
+    constant_weights,
+    degree_correlated_weights,
+    exponential_weights,
+    make_weights,
+    planted_cover_weights,
+    uniform_weights,
+)
+
+
+class TestBasicModels:
+    def test_constant(self):
+        w = constant_weights(5, 3.0)
+        assert w.tolist() == [3.0] * 5
+
+    def test_constant_requires_positive(self):
+        with pytest.raises(ValueError):
+            constant_weights(5, 0.0)
+
+    def test_uniform_range(self):
+        w = uniform_weights(1000, 2.0, 4.0, seed=0)
+        assert w.min() >= 2.0 and w.max() <= 4.0
+
+    def test_uniform_invalid_range(self):
+        with pytest.raises(ValueError):
+            uniform_weights(10, 5.0, 1.0, seed=0)
+
+    def test_exponential_positive(self):
+        w = exponential_weights(1000, 2.0, seed=1)
+        assert (w >= 1.0).all()
+
+    def test_adversarial_spread(self):
+        w = adversarial_spread_weights(5000, orders_of_magnitude=6.0, seed=2)
+        assert (w > 0).all()
+        assert w.max() / w.min() > 1e4  # realized spread is wide
+
+    def test_deterministic(self):
+        a = uniform_weights(100, seed=7)
+        b = uniform_weights(100, seed=7)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, uniform_weights(100, seed=8))
+
+
+class TestDegreeCorrelated:
+    def test_hub_is_heaviest(self):
+        g = star(10)
+        w = degree_correlated_weights(g, alpha=1.0, noise=0.0, seed=0)
+        assert w[0] == w.max()
+        assert w[0] == pytest.approx(10.0)  # (1 + deg 9)^1
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            degree_correlated_weights(star(4), noise=-0.1, seed=0)
+
+
+class TestPlantedCoverWeights:
+    def test_planted_cheap(self):
+        w = planted_cover_weights(100, 10, cheap=1.0, expensive=50.0, seed=3)
+        assert w[:10].max() < w[10:].min()
+
+    def test_bad_cover_size(self):
+        with pytest.raises(ValueError):
+            planted_cover_weights(10, 11, seed=0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("model", sorted(WEIGHT_MODELS))
+    def test_all_models_positive(self, model):
+        g = gnp_average_degree(200, 8.0, seed=4)
+        w = make_weights(model, g, seed=5)
+        assert w.shape == (200,)
+        assert (w > 0).all()
+
+    def test_unknown_model(self):
+        g = star(4)
+        with pytest.raises(ValueError, match="unknown weight model"):
+            make_weights("nope", g)

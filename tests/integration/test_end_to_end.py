@@ -1,0 +1,124 @@
+"""End-to-end integration: the full algorithm across graph families, weight
+models, and both engines, checked against exact and LP references."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import exact_mwvc
+from repro.baselines.lp import lp_relaxation
+from repro.baselines.pricing import pricing_vertex_cover
+from repro.core.mpc_mwvc import minimum_weight_vertex_cover
+from repro.graphs.generators import (
+    complete_bipartite,
+    gnp_average_degree,
+    grid_2d,
+    planted_cover,
+    power_law,
+    random_tree,
+)
+from repro.graphs.weights import (
+    WEIGHT_MODELS,
+    make_weights,
+    planted_cover_weights,
+)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("model", sorted(WEIGHT_MODELS))
+    def test_gnp_all_weight_models(self, model):
+        g = gnp_average_degree(600, 18.0, seed=1)
+        g = g.with_weights(make_weights(model, g, seed=2))
+        res = minimum_weight_vertex_cover(g, eps=0.1, seed=3)
+        assert res.verify(g)
+        lp = lp_relaxation(g).lp_value
+        assert res.cover_weight <= 2.6 * lp  # 2+30ε = 5 bound; observed ≤ ~2.6
+
+    def test_power_law_heavy_tail(self):
+        g = power_law(2500, exponent=2.1, seed=4)
+        g = g.with_weights(make_weights("exponential", g, seed=5))
+        res = minimum_weight_vertex_cover(g, eps=0.1, seed=6)
+        assert res.verify(g)
+
+    def test_grid(self):
+        g = grid_2d(40, 40)
+        res = minimum_weight_vertex_cover(g, eps=0.1, seed=7)
+        assert res.verify(g)
+        # grid is bipartite: LP = OPT; ratio should be ≤ 2+30ε easily
+        lp = lp_relaxation(g).lp_value
+        assert res.cover_weight <= 5.0 * lp
+
+    def test_tree(self):
+        g = random_tree(3000, seed=8)
+        res = minimum_weight_vertex_cover(g, eps=0.1, seed=9)
+        assert res.verify(g)
+
+    def test_bipartite_weighted(self):
+        g = complete_bipartite(40, 200)
+        w = np.ones(240)
+        w[:40] = 100.0  # left side expensive; OPT buys the right side? no —
+        # covering K_{40,200} needs one full side: right side costs 200,
+        # left costs 4000 -> OPT = 200.
+        g = g.with_weights(w)
+        res = minimum_weight_vertex_cover(g, eps=0.1, seed=10)
+        assert res.verify(g)
+        assert res.cover_weight <= 5.0 * 200.0
+
+    def test_planted_cover_recovered_approximately(self):
+        g = planted_cover(2000, 100, 10.0, seed=11)
+        g = g.with_weights(planted_cover_weights(2000, 100, seed=12))
+        res = minimum_weight_vertex_cover(g, eps=0.1, seed=13)
+        assert res.verify(g)
+        planted_weight = float(g.weights[:100].sum())
+        # the planted cover is near-optimal; we must land within the bound
+        assert res.cover_weight <= 5.0 * planted_weight
+
+
+class TestAgainstReferences:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ratio_vs_exact_small(self, seed):
+        eps = 0.1
+        g = gnp_average_degree(36, 7.0, seed=seed)
+        g = g.with_weights(make_weights("uniform", g, seed=seed + 20))
+        res = minimum_weight_vertex_cover(g, eps=eps, seed=seed)
+        opt = exact_mwvc(g).opt_weight
+        if opt > 0:
+            assert res.cover_weight / opt <= 2.0 + 30.0 * eps
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ratio_vs_lp_medium(self, seed):
+        eps = 0.1
+        g = gnp_average_degree(900, 22.0, seed=seed)
+        g = g.with_weights(make_weights("exponential", g, seed=seed + 30))
+        res = minimum_weight_vertex_cover(g, eps=eps, seed=seed)
+        lp = lp_relaxation(g).lp_value
+        assert res.cover_weight / lp <= 2.0 + 30.0 * eps
+
+    def test_comparable_to_pricing(self):
+        """The MPC cover should be in the same quality class as the
+        sequential 2-approximation (within 50% on random graphs)."""
+        g = gnp_average_degree(1500, 30.0, seed=40)
+        g = g.with_weights(make_weights("uniform", g, seed=41))
+        ours = minimum_weight_vertex_cover(g, eps=0.1, seed=42)
+        seq = pricing_vertex_cover(g)
+        assert ours.cover_weight <= 1.5 * seq.cover_weight
+
+    def test_dual_consistency_chain(self):
+        """dual certificate ≤ LP ≤ OPT on one instance where all three are
+        computable."""
+        g = gnp_average_degree(40, 6.0, seed=50)
+        g = g.with_weights(make_weights("uniform", g, seed=51))
+        res = minimum_weight_vertex_cover(g, eps=0.1, seed=52)
+        lp = lp_relaxation(g).lp_value
+        opt = exact_mwvc(g).opt_weight
+        assert res.certificate.opt_lower_bound <= lp + 1e-6
+        assert lp <= opt + 1e-6
+
+
+class TestBothEnginesEndToEnd:
+    def test_cluster_engine_full_pipeline(self):
+        g = gnp_average_degree(350, 20.0, seed=60)
+        g = g.with_weights(make_weights("adversarial", g, seed=61))
+        res = minimum_weight_vertex_cover(g, eps=0.1, seed=62, engine="cluster")
+        assert res.verify(g)
+        assert res.engine == "cluster"
+        assert res.mpc_rounds > 0

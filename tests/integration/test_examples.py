@@ -1,0 +1,30 @@
+"""Every example script must run to completion as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"{script.name} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_examples_present():
+    """The repo promises at least a quickstart plus domain scenarios."""
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3

@@ -1,0 +1,53 @@
+"""Tests for message word accounting."""
+
+import numpy as np
+import pytest
+
+from repro.mpc.message import Message, payload_words
+
+
+class TestPayloadWords:
+    def test_none_is_free(self):
+        assert payload_words(None) == 0
+
+    def test_scalars_cost_one(self):
+        assert payload_words(5) == 1
+        assert payload_words(3.14) == 1
+        assert payload_words(True) == 1
+        assert payload_words(np.int64(7)) == 1
+        assert payload_words(np.float64(1.5)) == 1
+
+    def test_array_costs_size(self):
+        assert payload_words(np.zeros(17)) == 17
+        assert payload_words(np.zeros((3, 4))) == 12
+        assert payload_words(np.empty(0)) == 0
+
+    def test_string_packing(self):
+        assert payload_words("") == 0
+        assert payload_words("abcdefgh") == 1
+        assert payload_words("abcdefghi") == 2
+
+    def test_containers_sum(self):
+        assert payload_words([1, 2.0, np.zeros(3)]) == 5
+        assert payload_words((np.zeros(2), np.zeros(2))) == 4
+
+    def test_dict_counts_keys_and_values(self):
+        assert payload_words({"abc": np.zeros(4)}) == 1 + 4
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            payload_words(object())
+
+
+class TestMessage:
+    def test_words_cached(self):
+        msg = Message(0, 1, "t", np.zeros(9))
+        assert msg.words == 9
+
+    def test_frozen(self):
+        msg = Message(0, 1, "t", 5)
+        with pytest.raises(Exception):
+            msg.src = 2  # type: ignore[misc]
+
+    def test_empty_payload(self):
+        assert Message(0, 1, "ping").words == 0

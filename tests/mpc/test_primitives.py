@@ -1,0 +1,122 @@
+"""Tests for the collective primitives and their round counts."""
+
+import numpy as np
+import pytest
+
+from repro.core.accounting import broadcast_round_count, fanin_round_count
+from repro.mpc.cluster import Cluster
+from repro.mpc.exceptions import CommunicationLimitExceeded
+from repro.mpc.primitives import aggregate_sum, broadcast, gather_concat, tree_fanout
+
+
+class TestTreeFanout:
+    def test_capacity_bound(self):
+        c = Cluster(4, 100)
+        assert tree_fanout(c, 10) == 10
+        assert tree_fanout(c, 60) == 2  # max(2, 100//60)
+
+    def test_unbounded(self):
+        c = Cluster(4, None)
+        assert tree_fanout(c, 10) >= 4
+
+    def test_zero_item(self):
+        c = Cluster(4, 100)
+        assert tree_fanout(c, 0) >= 4
+
+
+class TestBroadcast:
+    def test_all_receive(self):
+        c = Cluster(5, 1000)
+        out = broadcast(c, 0, "t", np.arange(3))
+        assert set(out.keys()) == {0, 1, 2, 3, 4}
+        for v in out.values():
+            assert np.array_equal(v, np.arange(3))
+
+    def test_subset(self):
+        c = Cluster(6, 1000)
+        out = broadcast(c, 2, "t", 42, dst_ids=[1, 3])
+        assert set(out.keys()) == {1, 3}
+
+    def test_round_count_matches_accounting(self):
+        for num_machines in (2, 3, 8, 17, 64):
+            for fanout in (2, 3, 8):
+                c = Cluster(num_machines, None)
+                broadcast(c, 0, "t", 1.0, fanout=fanout)
+                expected = broadcast_round_count(num_machines - 1, fanout)
+                assert c.metrics.rounds == expected, (num_machines, fanout)
+
+    def test_respects_capacity(self):
+        # payload of 40 words, capacity 100 -> fanout 2; never exceeds S.
+        c = Cluster(9, 100)
+        broadcast(c, 0, "t", np.zeros(40))
+        assert c.metrics.max_sent_words <= 100
+
+    def test_oversized_payload_raises(self):
+        c = Cluster(3, 10)
+        with pytest.raises(CommunicationLimitExceeded):
+            broadcast(c, 0, "t", np.zeros(50))
+
+    def test_single_machine_no_rounds(self):
+        c = Cluster(1, 10)
+        out = broadcast(c, 0, "t", 5)
+        assert out == {0: 5}
+        assert c.metrics.rounds == 0
+
+
+class TestAggregateSum:
+    def test_total_correct(self):
+        c = Cluster(6, 1000)
+        partials = {i: np.full(4, float(i)) for i in range(6)}
+        total = aggregate_sum(c, "t", partials)
+        assert np.allclose(total, np.full(4, 15.0))
+
+    def test_missing_machines_contribute_zero(self):
+        c = Cluster(5, 1000)
+        total = aggregate_sum(c, "t", {3: np.array([2.0]), 4: np.array([5.0])})
+        assert total.tolist() == [7.0]
+
+    def test_round_count_matches_accounting(self):
+        for participants in (2, 5, 9, 17):
+            for fanout in (2, 4):
+                c = Cluster(participants, None)
+                partials = {i: np.ones(2) for i in range(participants)}
+                aggregate_sum(c, "t", partials, fanout=fanout)
+                assert c.metrics.rounds == fanin_round_count(participants, fanout)
+
+    def test_shape_mismatch_rejected(self):
+        c = Cluster(3, 1000)
+        with pytest.raises(ValueError, match="shape"):
+            aggregate_sum(c, "t", {0: np.ones(2), 1: np.ones(3)})
+
+    def test_empty_rejected(self):
+        c = Cluster(3, 1000)
+        with pytest.raises(ValueError):
+            aggregate_sum(c, "t", {})
+
+
+class TestGatherConcat:
+    def test_ordered_by_source(self):
+        c = Cluster(4, 1000)
+        parts = {
+            2: np.array([20, 21]),
+            1: np.array([10]),
+            3: np.array([30]),
+        }
+        out = gather_concat(c, "t", parts, root=0)
+        assert out.tolist() == [10, 20, 21, 30]
+
+    def test_empty_parts_ok(self):
+        c = Cluster(3, 1000)
+        out = gather_concat(c, "t", {1: np.empty(0, np.int64), 2: np.array([5])})
+        assert out.tolist() == [5]
+
+    def test_root_part_included(self):
+        c = Cluster(3, 1000)
+        out = gather_concat(c, "t", {0: np.array([1]), 2: np.array([9])})
+        assert out.tolist() == [1, 9]
+
+    def test_round_count(self):
+        c = Cluster(9, None)
+        parts = {i: np.array([i]) for i in range(1, 9)}
+        gather_concat(c, "t", parts, root=0, fanout=3)
+        assert c.metrics.rounds == fanin_round_count(9, 3)

@@ -1,0 +1,50 @@
+"""Hypothesis strategies for random weighted graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graphs.graph import WeightedGraph
+
+
+@st.composite
+def weighted_graphs(
+    draw,
+    min_n: int = 1,
+    max_n: int = 24,
+    max_edge_factor: int = 4,
+    min_weight: float = 0.1,
+    max_weight: float = 100.0,
+):
+    """A random simple weighted graph.
+
+    Edges are drawn as endpoint pairs (duplicates and reversals collapse in
+    canonicalization, so the realized edge count may be below the drawn
+    one — that's fine, it broadens the distribution toward sparse cases).
+    """
+    n = draw(st.integers(min_n, max_n))
+    max_m = min(max_edge_factor * n, n * (n - 1) // 2)
+    m = draw(st.integers(0, max_m))
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(
+                min_weight, max_weight, allow_nan=False, allow_infinity=False
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return WeightedGraph.from_edge_list(n, pairs, np.asarray(weights))
+
+
+seeds = st.integers(0, 2**32 - 1)

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import gnp_average_degree
+from repro.graphs.io import load_npz, save_npz
+from repro.graphs.weights import uniform_weights
+
+
+class TestSolve:
+    def test_solve_generated(self, capsys):
+        rc = main(["solve", "--family", "gnp", "--n", "200", "--degree", "8",
+                   "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cover_weight" in out
+
+    def test_solve_json(self, capsys):
+        rc = main(["solve", "--family", "gnp", "--n", "150", "--degree", "6",
+                   "--seed", "2", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["algorithm"] == "mpc"
+        assert data["cover_weight"] > 0
+        assert data["n"] == 150
+
+    @pytest.mark.parametrize("algo", ["centralized", "pricing", "greedy"])
+    def test_other_algorithms(self, algo, capsys):
+        rc = main(["solve", "--family", "gnp", "--n", "120", "--degree", "6",
+                   "--seed", "3", "--algorithm", algo, "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["algorithm"] == algo
+
+    def test_solve_from_file(self, tmp_path, capsys):
+        g = gnp_average_degree(100, 5.0, seed=4)
+        g = g.with_weights(uniform_weights(g.n, seed=5))
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        rc = main(["solve", "--input", str(path), "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["n"] == 100
+
+    def test_cover_out(self, tmp_path, capsys):
+        out = tmp_path / "cover.txt"
+        rc = main(["solve", "--family", "gnp", "--n", "100", "--degree", "6",
+                   "--seed", "6", "--cover-out", str(out)])
+        assert rc == 0
+        ids = np.loadtxt(out, dtype=np.int64)
+        assert ids.size > 0
+
+    def test_cluster_engine(self, capsys):
+        rc = main(["solve", "--family", "gnp", "--n", "120", "--degree", "8",
+                   "--seed", "7", "--engine", "cluster", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["engine"] == "cluster"
+
+    @pytest.mark.parametrize("family", ["power_law", "grid", "tree", "sbm", "geometric", "ba"])
+    def test_all_families(self, family, capsys):
+        rc = main(["solve", "--family", family, "--n", "150", "--degree", "6",
+                   "--seed", "8", "--json"])
+        assert rc == 0
+
+    def test_unit_weights(self, capsys):
+        rc = main(["solve", "--family", "gnp", "--n", "100", "--degree", "6",
+                   "--weights", "unit", "--seed", "9", "--json"])
+        assert rc == 0
+
+
+class TestGenerate:
+    def test_npz_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "w.npz"
+        rc = main(["generate", "--family", "gnp", "--n", "80", "--degree", "5",
+                   "--seed", "10", "--out", str(path)])
+        assert rc == 0
+        g = load_npz(path)
+        assert g.n == 80
+
+    def test_edgelist_output(self, tmp_path, capsys):
+        path = tmp_path / "w.txt"
+        rc = main(["generate", "--family", "tree", "--n", "50", "--seed", "11",
+                   "--out", str(path)])
+        assert rc == 0
+        assert path.read_text().startswith("# mwvc-edgelist v1")
+
+
+class TestExperiment:
+    def test_unknown_id(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "e99"])
+
+    def test_e11_runs(self, capsys):
+        rc = main(["experiment", "e11"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "E11" in out
+        assert "rounds_equal" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--family", "moebius"])

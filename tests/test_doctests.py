@@ -1,0 +1,24 @@
+"""Docstring examples must stay executable."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.mpc_mwvc
+import repro.paper_map
+import repro.utils.rng
+
+MODULES = [
+    repro,
+    repro.core.mpc_mwvc,
+    repro.paper_map,
+    repro.utils.rng,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"
