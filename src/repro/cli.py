@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro solve      # run a cover algorithm on a file or a
                                # generated workload, print the summary
     python -m repro generate   # write a workload to .npz / edge list
     python -m repro experiment # run experiment runners E1..E11, print tables
+    python -m repro batch      # solve a JSON-lines manifest of instances
+                               # through the pooled/cached batch service
 
 Examples
 --------
@@ -23,6 +25,10 @@ Solve a generated workload directly, with the cluster engine::
 Reproduce an experiment table::
 
     python -m repro experiment e5
+
+Solve a manifest of instances through the batch service::
+
+    python -m repro batch --manifest work.jsonl --workers 4 --out results.jsonl
 """
 
 from __future__ import annotations
@@ -40,11 +46,11 @@ from repro.baselines.greedy import greedy_vertex_cover
 from repro.baselines.pricing import pricing_vertex_cover
 from repro.core.centralized import run_centralized
 from repro.core.mpc_mwvc import minimum_weight_vertex_cover
-from repro.graphs import generators as _gen
-from repro.graphs import generators_extra as _genx
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.io import load_edgelist, load_npz, save_edgelist, save_npz
 from repro.graphs.weights import WEIGHT_MODELS, make_weights
+from repro.service.batch import BatchSolver
+from repro.service.manifest import GRAPH_FAMILIES, generate_graph, load_manifest
 
 __all__ = ["main", "build_parser"]
 
@@ -72,32 +78,12 @@ def _load_or_generate(args) -> WeightedGraph:
 
 
 def _generate_graph(args) -> WeightedGraph:
-    family = args.family
-    n, seed = args.n, args.seed
-    if family == "gnp":
-        g = _gen.gnp_average_degree(n, args.degree, seed=seed)
-    elif family == "power_law":
-        g = _gen.power_law(n, seed=seed)
-    elif family == "grid":
-        side = int(np.sqrt(n))
-        g = _gen.grid_2d(side, side)
-    elif family == "tree":
-        g = _gen.random_tree(n, seed=seed)
-    elif family == "sbm":
-        blocks = [n // 4] * 4
-        g = _genx.stochastic_block_model(
-            blocks, p_in=min(1.0, args.degree / max(n // 4, 1)), p_out=0.25 / max(n, 1),
-            seed=seed,
-        )
-    elif family == "geometric":
-        radius = np.sqrt(args.degree / (np.pi * max(n - 1, 1)))
-        g = _genx.random_geometric(n, radius, seed=seed)
-    elif family == "ba":
-        g = _genx.preferential_attachment(n, max(1, int(args.degree / 2)), seed=seed)
-    else:
-        raise SystemExit(f"unknown family {family!r}")
+    try:
+        g = generate_graph(args.family, n=args.n, degree=args.degree, seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     if args.weights != "unit":
-        g = g.with_weights(make_weights(args.weights, g, seed=seed + 1))
+        g = g.with_weights(make_weights(args.weights, g, seed=args.seed + 1))
     return g
 
 
@@ -185,6 +171,70 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    import time
+
+    try:
+        if args.manifest == "-":
+            requests = load_manifest(sys.stdin)
+        else:
+            requests = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"bad manifest: {exc}")
+    if not requests:
+        raise SystemExit("manifest contains no requests")
+
+    try:
+        solver = BatchSolver(
+            max_workers=args.workers,
+            cache=args.cache_size,
+            chunk_size=args.chunk_size,
+            timeout=args.timeout,
+            use_processes=not args.no_pool,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    # Open the sink before solving: a bad --out path must fail in
+    # milliseconds, not after a manifest worth of compute.
+    if args.out in (None, "-"):
+        out = sys.stdout
+    else:
+        try:
+            out = open(args.out, "w", encoding="utf-8")
+        except OSError as exc:
+            raise SystemExit(f"cannot write --out: {exc}")
+
+    start = time.perf_counter()
+    with solver:
+        results = solver.solve_batch(requests)
+    wall = time.perf_counter() - start
+
+    try:
+        for res in results:
+            out.write(json.dumps({k: _jsonable(v) for k, v in res.summary().items()}))
+            out.write("\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+
+    failed = sum(1 for r in results if not r.ok)
+    hits = sum(1 for r in results if r.cache_hit)
+    print(
+        f"batch: {len(results)} requests, {failed} failed, {hits} cache hits, "
+        f"{wall:.2f}s wall",
+        file=sys.stderr,
+    )
+    if solver.cache is not None:
+        stats = solver.cache.stats()
+        print(
+            f"cache: {stats.size}/{stats.max_entries} entries, "
+            f"hit rate {stats.hit_rate:.0%}",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -195,11 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_workload_args(p):
         p.add_argument("--input", help="input graph (.npz or edge list)")
-        p.add_argument(
-            "--family",
-            default="gnp",
-            choices=["gnp", "power_law", "grid", "tree", "sbm", "geometric", "ba"],
-        )
+        p.add_argument("--family", default="gnp", choices=list(GRAPH_FAMILIES))
         p.add_argument("--n", type=int, default=1000)
         p.add_argument("--degree", type=float, default=16.0)
         p.add_argument(
@@ -228,6 +274,39 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run experiment tables E1..E11")
     exp.add_argument("ids", nargs="+", help="experiment ids (e1..e11 or 'all')")
     exp.set_defaults(func=_cmd_experiment)
+
+    batch = sub.add_parser(
+        "batch", help="solve a JSON-lines manifest through the batch service"
+    )
+    batch.add_argument(
+        "--manifest", required=True,
+        help="JSON-lines manifest path ('-' for stdin); one request per line",
+    )
+    batch.add_argument(
+        "--out", default="-",
+        help="write JSON-lines results here (default: stdout)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: cpu count)",
+    )
+    batch.add_argument(
+        "--cache-size", type=int, default=256,
+        help="LRU result-cache capacity; 0 disables caching",
+    )
+    batch.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="requests per pool task (default: auto, ~4 chunks per worker)",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request wall-clock budget in seconds",
+    )
+    batch.add_argument(
+        "--no-pool", action="store_true",
+        help="solve in-process instead of a process pool",
+    )
+    batch.set_defaults(func=_cmd_batch)
 
     return parser
 

@@ -23,6 +23,7 @@ on first neighbor query, since the vectorized engines never need it.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Optional, Tuple
 
 import numpy as np
@@ -109,6 +110,7 @@ class WeightedGraph:
         "_indptr",
         "_adj_vertices",
         "_adj_edges",
+        "_digest",
     )
 
     def __init__(
@@ -146,6 +148,7 @@ class WeightedGraph:
         self._indptr = None
         self._adj_vertices = None
         self._adj_edges = None
+        self._digest = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -213,6 +216,69 @@ class WeightedGraph:
 
     def __hash__(self) -> int:
         return hash((self._n, self.m, self._edges_u.tobytes(), self._weights.tobytes()))
+
+    def content_digest(self) -> str:
+        """Stable hex digest of the graph's full content.
+
+        Hashes ``(n, edges_u, edges_v, weights)`` in canonical form, so any
+        two graphs built from the same edge set — regardless of the input
+        edge ordering, endpoint orientation, or duplicates — share one
+        digest.  This is the cache/identity key of the batch solving
+        service: ``g.content_digest() == h.content_digest()`` iff
+        ``g == h``, up to SHA-256 collisions.
+
+        Computed lazily and memoized (the graph is immutable).
+        """
+        if self._digest is None:
+            h = hashlib.sha256()
+            h.update(b"repro-graph-v1")
+            h.update(np.int64(self._n).tobytes())
+            h.update(np.int64(self.m).tobytes())
+            h.update(np.ascontiguousarray(self._edges_u, dtype=np.int64).tobytes())
+            h.update(np.ascontiguousarray(self._edges_v, dtype=np.int64).tobytes())
+            h.update(np.ascontiguousarray(self._weights, dtype=np.float64).tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
+
+    # ------------------------------------------------------------------ #
+    # pickling (process-pool transport)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        """Pickle only the defining content.
+
+        The lazy CSR adjacency (up to ``4m`` extra int64 words) and the
+        derived degree array are dropped from the payload so graphs ship
+        cheaply across :class:`~concurrent.futures.ProcessPoolExecutor`
+        boundaries; they are rebuilt on demand on the other side.
+        """
+        return {
+            "n": self._n,
+            "edges_u": np.asarray(self._edges_u),
+            "edges_v": np.asarray(self._edges_v),
+            "weights": np.asarray(self._weights),
+            "digest": self._digest,
+        }
+
+    def __setstate__(self, state):
+        # The payload comes from __getstate__, whose arrays are already
+        # canonical — restore directly rather than paying the O(m log m)
+        # canonicalization in __init__ on every unpickle.
+        n = int(state["n"])
+        u = np.ascontiguousarray(state["edges_u"], dtype=np.int64)
+        v = np.ascontiguousarray(state["edges_v"], dtype=np.int64)
+        w = np.ascontiguousarray(state["weights"], dtype=np.float64)
+        deg = (np.bincount(u, minlength=n) + np.bincount(v, minlength=n)).astype(np.int64)
+        for arr in (u, v, w, deg):
+            arr.setflags(write=False)
+        self._n = n
+        self._edges_u = u
+        self._edges_v = v
+        self._weights = w
+        self._degrees = deg
+        self._indptr = None
+        self._adj_vertices = None
+        self._adj_edges = None
+        self._digest = state.get("digest")
 
     # ------------------------------------------------------------------ #
     # vectorized primitives

@@ -1,14 +1,22 @@
 """Every example script must run to completion as a subprocess."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
-)
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((_REPO_ROOT / "examples").glob("*.py"))
+
+
+def _env_with_src():
+    """Subprocess environment with ``src/`` importable regardless of caller."""
+    env = dict(os.environ)
+    src = str(_REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    return env
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
@@ -18,6 +26,7 @@ def test_example_runs(script):
         capture_output=True,
         text=True,
         timeout=600,
+        env=_env_with_src(),
     )
     assert proc.returncode == 0, f"{script.name} failed:\n{proc.stderr[-2000:]}"
     assert proc.stdout.strip(), f"{script.name} produced no output"

@@ -1,0 +1,59 @@
+"""LRU semantics and statistics of the service result cache."""
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+def test_miss_then_hit():
+    cache = ResultCache(4)
+    assert cache.get("k") is None
+    cache.put("k", "res")  # type: ignore[arg-type] - any object works
+    assert cache.get("k") == "res"
+    stats = cache.stats()
+    assert stats.hits == 1 and stats.misses == 1
+    assert stats.hit_rate == pytest.approx(0.5)
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh "a": now "b" is least recent
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert cache.stats().evictions == 1
+
+
+def test_put_refreshes_recency_and_value():
+    cache = ResultCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)  # refresh, not insert: no eviction
+    cache.put("c", 3)  # evicts "b", the least recent
+    assert cache.get("a") == 10
+    assert "b" not in cache
+    assert len(cache) == 2
+
+
+def test_zero_capacity_disables_storage():
+    cache = ResultCache(0)
+    cache.put("k", 1)
+    assert cache.get("k") is None
+    assert len(cache) == 0
+    assert cache.stats().misses == 1
+
+
+def test_clear_keeps_stats():
+    cache = ResultCache(4)
+    cache.put("k", 1)
+    assert cache.get("k") == 1
+    cache.clear()
+    assert "k" not in cache
+    assert cache.stats().hits == 1
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(-1)

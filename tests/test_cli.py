@@ -103,6 +103,59 @@ class TestExperiment:
         assert "rounds_equal" in out
 
 
+class TestBatch:
+    def _manifest(self, tmp_path, lines):
+        path = tmp_path / "manifest.jsonl"
+        path.write_text("\n".join(json.dumps(x) for x in lines) + "\n")
+        return str(path)
+
+    def test_batch_manifest_to_jsonl(self, tmp_path, capsys):
+        manifest = self._manifest(
+            tmp_path,
+            [
+                {"id": "a", "family": "gnp", "n": 80, "degree": 5, "graph_seed": 1},
+                {"id": "a2", "family": "gnp", "n": 80, "degree": 5, "graph_seed": 1},
+                {"id": "b", "n": 3, "edges": [[0, 1], [1, 2]]},
+            ],
+        )
+        rc = main(["batch", "--manifest", manifest, "--no-pool"])
+        assert rc == 0
+        rows = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert [r["request_id"] for r in rows] == ["a", "a2", "b"]
+        assert all(r["ok"] for r in rows)
+        assert rows[1]["cache_hit"]  # identical instance deduplicated
+        assert rows[0]["cache_key"] == rows[1]["cache_key"]
+        assert rows[0]["cover_weight"] == rows[1]["cover_weight"]
+
+    def test_batch_out_file_and_failure_exit_code(self, tmp_path, capsys):
+        manifest = self._manifest(
+            tmp_path,
+            [
+                {"id": "good", "family": "tree", "n": 30},
+                {"id": "bad", "family": "tree", "n": 30, "eps": 0.4},
+            ],
+        )
+        out = tmp_path / "results.jsonl"
+        rc = main(["batch", "--manifest", manifest, "--no-pool", "--out", str(out)])
+        assert rc == 1  # one failed request
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        by_id = {r["request_id"]: r for r in rows}
+        assert by_id["good"]["ok"]
+        assert not by_id["bad"]["ok"] and "eps" in by_id["bad"]["error"]
+
+    def test_batch_bad_manifest(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(SystemExit, match="line 1"):
+            main(["batch", "--manifest", str(path)])
+
+    def test_batch_empty_manifest(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("# nothing here\n")
+        with pytest.raises(SystemExit):
+            main(["batch", "--manifest", str(path)])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
