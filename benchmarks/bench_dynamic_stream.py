@@ -1,0 +1,149 @@
+"""Dynamic streams: incremental repair vs re-solve-every-batch.
+
+Not a paper claim — the engineering case for the dynamic subsystem
+(DESIGN: local repair keeps the cover valid for pennies, so full MPC
+re-solves should be *rare* — triggered by certificate drift or a periodic
+refresh — without giving up final quality).  For each churn model
+(uniform, hub, sliding_window) the bench replays the same update stream
+two ways:
+
+* ``incremental`` — :func:`repro.dynamic.run_stream` with the default
+  drift-bounded policy (tight 2% drift + refresh every 8 batches);
+* ``every_batch`` — the degenerate policy that re-solves after every
+  batch (the "no incremental maintenance" baseline).
+
+Asserts: both final covers verify; the incremental path issues *fewer*
+full re-solves than the baseline; and its final cover weight matches the
+baseline's within 1%.  Results are emitted as JSON — written to the path
+in ``$BENCH_DYNAMIC_STREAM_JSON`` when set (the CI artifact), or to the
+``--out`` path when run as a script::
+
+    python benchmarks/bench_dynamic_stream.py --out bench_dynamic_stream.json
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import register_table
+from repro.dynamic import ResolvePolicy, run_stream
+from repro.graphs.generators import gnp_average_degree
+from repro.graphs.streams import CHURN_MODELS, make_update_stream
+from repro.graphs.weights import uniform_weights
+
+N = 2000
+DEGREE = 12.0
+NUM_UPDATES = 1500
+BATCH_SIZE = 50
+EPS = 0.1
+SEED = 9
+
+INCREMENTAL_POLICY = ResolvePolicy(max_drift=0.02, max_batches_between=8)
+EVERY_BATCH_POLICY = ResolvePolicy(every_batch=True)
+
+#: Required final-quality agreement between the two strategies.
+QUALITY_TOLERANCE = 0.01
+
+
+def _workload():
+    g = gnp_average_degree(N, DEGREE, seed=5)
+    return g.with_weights(uniform_weights(g.n, 1.0, 10.0, seed=6))
+
+
+def _run(graph, updates, policy):
+    start = time.perf_counter()
+    summary = run_stream(
+        graph, updates, batch_size=BATCH_SIZE, policy=policy, eps=EPS, seed=SEED
+    )
+    elapsed = time.perf_counter() - start
+    return summary, elapsed
+
+
+def run_bench():
+    """Replay every churn model both ways; returns (rows, results-dict)."""
+    graph = _workload()
+    rows = []
+    results = {
+        "config": {
+            "n": N,
+            "degree": DEGREE,
+            "num_updates": NUM_UPDATES,
+            "batch_size": BATCH_SIZE,
+            "eps": EPS,
+            "max_drift": INCREMENTAL_POLICY.max_drift,
+            "max_batches_between": INCREMENTAL_POLICY.max_batches_between,
+        },
+        "models": {},
+    }
+    for model in CHURN_MODELS:
+        updates = make_update_stream(model, graph, NUM_UPDATES, seed=7)
+        inc, t_inc = _run(graph, updates, INCREMENTAL_POLICY)
+        base, t_base = _run(graph, updates, EVERY_BATCH_POLICY)
+        assert inc.final_is_cover and base.final_is_cover
+        delta = inc.final_cover_weight / base.final_cover_weight - 1.0
+        results["models"][model] = {
+            "incremental": inc.summary(),
+            "every_batch": base.summary(),
+            "quality_delta": delta,
+            "incremental_seconds": round(t_inc, 3),
+            "every_batch_seconds": round(t_base, 3),
+        }
+        rows.append(
+            {
+                "churn": model,
+                "resolves (inc)": inc.num_resolves,
+                "resolves (base)": base.num_resolves,
+                "updates/s (inc)": round(NUM_UPDATES / t_inc),
+                "updates/s (base)": round(NUM_UPDATES / t_base),
+                "quality delta": f"{delta:+.3%}",
+                "final ratio (inc)": round(inc.final_certified_ratio, 3),
+            }
+        )
+    return rows, results
+
+
+def _check(results) -> None:
+    for model, r in results["models"].items():
+        inc, base = r["incremental"], r["every_batch"]
+        assert inc["num_resolves"] < base["num_resolves"], (
+            f"{model}: incremental used {inc['num_resolves']} re-solves, "
+            f"baseline {base['num_resolves']} — no savings"
+        )
+        assert abs(r["quality_delta"]) <= QUALITY_TOLERANCE, (
+            f"{model}: final quality delta {r['quality_delta']:+.3%} "
+            f"exceeds {QUALITY_TOLERANCE:.0%}"
+        )
+
+
+def test_dynamic_stream_throughput(benchmark):
+    rows, results = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    register_table(
+        f"Dynamic streams: {NUM_UPDATES} updates, batches of {BATCH_SIZE}", rows
+    )
+    _check(results)
+    out = os.environ.get("BENCH_DYNAMIC_STREAM_JSON")
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="bench_dynamic_stream.json",
+                        help="where to write the results JSON")
+    args = parser.parse_args(argv)
+    rows, results = run_bench()
+    _check(results)
+    from repro.analysis.tables import render_table
+
+    print(render_table(rows, title="Dynamic streams: incremental vs every-batch"))
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2)
+    print(f"results written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,10 @@ Public API highlights
 :mod:`repro.baselines`
     Sequential 2-approximations, LP bounds, exact solver, and the
     O(log n)-round LOCAL baseline the paper improves on.
+:mod:`repro.dynamic`
+    Incremental cover maintenance over update streams: local repair with a
+    live duality certificate, drift-bounded re-solves through the batch
+    service.
 
 Quickstart
 ----------
@@ -25,7 +29,7 @@ Quickstart
 True
 """
 
-from repro import baselines, congested, core, graphs, mpc, utils  # noqa: F401
+from repro import baselines, congested, core, dynamic, graphs, mpc, utils  # noqa: F401
 from repro.core.centralized import run_centralized
 from repro.core.mpc_mwvc import minimum_weight_vertex_cover
 from repro.core.params import MPCParameters
@@ -45,6 +49,7 @@ __all__ = [
     "core",
     "baselines",
     "congested",
+    "dynamic",
     "utils",
     "__version__",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro solve      # run a cover algorithm on a file or a
                                # generated workload, print the summary
@@ -8,6 +8,8 @@ Four subcommands::
     python -m repro experiment # run experiment runners E1..E11, print tables
     python -m repro batch      # solve a JSON-lines manifest of instances
                                # through the pooled/cached batch service
+    python -m repro stream     # maintain a certified cover over a
+                               # JSON-lines update stream (or generated churn)
 
 Examples
 --------
@@ -29,6 +31,11 @@ Reproduce an experiment table::
 Solve a manifest of instances through the batch service::
 
     python -m repro batch --manifest work.jsonl --workers 4 --out results.jsonl
+
+Maintain a cover over 2000 generated churn events::
+
+    python -m repro stream --family gnp --n 2000 --degree 12 \\
+        --churn uniform --num-updates 2000 --max-drift 0.25 --out records.jsonl
 """
 
 from __future__ import annotations
@@ -69,11 +76,27 @@ _EXPERIMENTS = {
 }
 
 
+def _package_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro-mwvc")
+    except Exception:  # pragma: no cover - metadata unavailable
+        import repro
+
+        return repro.__version__
+
+
 def _load_or_generate(args) -> WeightedGraph:
     if args.input:
-        if str(args.input).endswith(".npz"):
-            return load_npz(args.input)
-        return load_edgelist(args.input)
+        try:
+            if str(args.input).endswith(".npz"):
+                return load_npz(args.input)
+            return load_edgelist(args.input)
+        except FileNotFoundError:
+            raise SystemExit(f"input file not found: {args.input}")
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read input file {args.input}: {exc}")
     return _generate_graph(args)
 
 
@@ -235,11 +258,95 @@ def _cmd_batch(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_stream(args) -> int:
+    from repro.dynamic import ResolvePolicy, load_update_stream, run_stream
+    from repro.graphs.streams import make_update_stream
+
+    graph = _load_or_generate(args)
+    if args.updates:
+        try:
+            if args.updates == "-":
+                updates = load_update_stream(sys.stdin)
+            else:
+                updates = load_update_stream(args.updates)
+        except FileNotFoundError:
+            raise SystemExit(f"update stream not found: {args.updates}")
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"bad update stream: {exc}")
+    else:
+        try:
+            updates = make_update_stream(
+                args.churn, graph, args.num_updates, seed=args.stream_seed
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+
+    try:
+        policy = ResolvePolicy(
+            max_drift=args.max_drift,
+            ratio_ceiling=args.ratio_ceiling,
+            min_batches_between=args.min_batches_between,
+            every_batch=args.resolve_every_batch,
+        )
+        solver = BatchSolver(
+            max_workers=args.workers or None,
+            cache=args.cache_size,
+            use_processes=bool(args.workers),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    if args.out and args.out != "-":
+        try:
+            out = open(args.out, "w", encoding="utf-8")
+        except OSError as exc:
+            raise SystemExit(f"cannot write --out: {exc}")
+    else:
+        out = None
+
+    try:
+        with solver:
+            try:
+                summary = run_stream(
+                    graph,
+                    updates,
+                    batch_size=args.batch_size,
+                    policy=policy,
+                    solver=solver,
+                    eps=args.eps,
+                    seed=args.seed,
+                    engine=args.engine,
+                    verify_every=args.verify_every,
+                )
+            except (ValueError, RuntimeError) as exc:
+                raise SystemExit(str(exc))
+        if out is not None:
+            for record in summary.records:
+                out.write(json.dumps({k: _jsonable(v) for k, v in record.summary().items()}))
+                out.write("\n")
+    finally:
+        if out is not None:
+            out.close()
+
+    print(json.dumps({k: _jsonable(v) for k, v in summary.summary().items()}, indent=2))
+    print(
+        f"stream: {summary.num_updates} updates in {summary.num_batches} batches, "
+        f"{summary.num_resolves} re-solves ({summary.num_resolve_cache_hits} from cache), "
+        f"final ratio {summary.final_certified_ratio:.3f}, "
+        f"{summary.elapsed_s:.2f}s wall",
+        file=sys.stderr,
+    )
+    return 0 if summary.final_is_cover else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Minimum weight vertex cover in the MPC model "
         "(Ghaffari-Jin-Nilis, SPAA 2020 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -307,6 +414,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve in-process instead of a process pool",
     )
     batch.set_defaults(func=_cmd_batch)
+
+    from repro.graphs.streams import CHURN_MODELS
+
+    stream = sub.add_parser(
+        "stream",
+        help="maintain a certified cover over an update stream "
+        "(incremental repair + drift-bounded re-solves)",
+    )
+    add_workload_args(stream)
+    stream.add_argument(
+        "--updates",
+        help="JSON-lines update stream ('-' for stdin, '.gz' ok); "
+        "omit to generate churn via --churn",
+    )
+    stream.add_argument(
+        "--churn", default="uniform", choices=list(CHURN_MODELS),
+        help="churn model for a generated stream (ignored with --updates)",
+    )
+    stream.add_argument(
+        "--num-updates", type=int, default=500,
+        help="length of the generated stream (ignored with --updates)",
+    )
+    stream.add_argument(
+        "--stream-seed", type=int, default=7,
+        help="seed of the generated stream (ignored with --updates)",
+    )
+    stream.add_argument("--batch-size", type=int, default=64,
+                        help="updates per repair batch")
+    stream.add_argument("--eps", type=float, default=0.1)
+    stream.add_argument("--engine", default="vectorized",
+                        choices=["vectorized", "cluster"])
+    stream.add_argument(
+        "--max-drift", type=float, default=0.25,
+        help="re-solve once the certified ratio drifts past "
+        "base·(1+max_drift)",
+    )
+    stream.add_argument(
+        "--ratio-ceiling", type=float, default=None,
+        help="absolute certified-ratio bound (on top of the drift rule)",
+    )
+    stream.add_argument(
+        "--min-batches-between", type=int, default=1,
+        help="cooldown batches between re-solves",
+    )
+    stream.add_argument(
+        "--resolve-every-batch", action="store_true",
+        help="degenerate policy: re-solve after every batch (baseline)",
+    )
+    stream.add_argument(
+        "--verify-every", type=int, default=0,
+        help="exactly re-verify the cover every k batches (0: final only)",
+    )
+    stream.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size for re-solves (0: solve in-process)",
+    )
+    stream.add_argument(
+        "--cache-size", type=int, default=256,
+        help="LRU result-cache capacity for warm-started re-solves",
+    )
+    stream.add_argument(
+        "--out", default=None,
+        help="write per-batch JSON-lines records here ('-'/omitted: skip)",
+    )
+    stream.set_defaults(func=_cmd_stream)
 
     return parser
 

@@ -36,6 +36,7 @@ def prune_redundant_vertices(
     in_cover: np.ndarray,
     *,
     weights: Optional[np.ndarray] = None,
+    candidates: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Greedily drop cover vertices whose removal keeps the cover valid.
 
@@ -46,6 +47,16 @@ def prune_redundant_vertices(
     (current) cover.
 
     Returns a new boolean mask; the input is not modified.
+
+    Parameters
+    ----------
+    candidates:
+        Optional restriction of the sweep: a boolean mask of shape
+        ``(n,)`` or an array of vertex ids.  Only candidate vertices are
+        considered for removal (non-candidates keep their state), making
+        the pass O(candidate neighborhood) — the hot-path mode of
+        incremental repair, where only the vertices touched by an update
+        batch can have become redundant.  ``None`` sweeps every vertex.
 
     Raises
     ------
@@ -67,9 +78,22 @@ def prune_redundant_vertices(
         ev[only_v], minlength=graph.n
     )
 
+    if candidates is None:
+        sweep = np.arange(graph.n, dtype=np.int64)
+    else:
+        cand = np.asarray(candidates)
+        if cand.dtype == bool:
+            if cand.shape != (graph.n,):
+                raise ValueError(f"candidates mask must have shape ({graph.n},)")
+            sweep = np.nonzero(cand)[0].astype(np.int64)
+        else:
+            sweep = np.unique(cand.astype(np.int64)) if cand.size else np.empty(0, np.int64)
+            if sweep.size and (sweep[0] < 0 or sweep[-1] >= graph.n):
+                raise ValueError(f"candidate ids must lie in [0, {graph.n})")
+
     with np.errstate(divide="ignore"):
         effectiveness = np.where(graph.degrees > 0, w / np.maximum(graph.degrees, 1), np.inf)
-    order = np.lexsort((np.arange(graph.n), -effectiveness))
+    order = sweep[np.lexsort((sweep, -effectiveness[sweep]))]
     indptr = graph.indptr
     adj_v = graph.adj_vertices
     for v in order:

@@ -1,0 +1,57 @@
+"""Dynamic-graph subsystem: certified MWVC over update streams.
+
+The MPC algorithm solves one static instance per invocation; production
+graphs mutate continuously.  This package maintains a valid, certified
+cover under edge churn and weight changes, re-solving only when the
+certificate drifts past a policy bound:
+
+:mod:`repro.dynamic.updates`
+    :class:`EdgeInsert` / :class:`EdgeDelete` / :class:`WeightChange`
+    events and their JSON-lines wire format.
+:mod:`repro.dynamic.dynamic_graph`
+    :class:`DynamicGraph` — delta log over the immutable
+    :class:`~repro.graphs.WeightedGraph`, with periodic compaction back to
+    canonical CSR form.
+:mod:`repro.dynamic.maintainer`
+    :class:`IncrementalCoverMaintainer` — local pricing repair + touched
+    pruning + a live duality certificate.
+:mod:`repro.dynamic.policy`
+    :class:`ResolvePolicy` — drift-bounded re-solve trigger.
+:mod:`repro.dynamic.stream`
+    :func:`run_stream` — batches, policy evaluation, and warm-started
+    re-solves through the batch service (``repro stream``).
+"""
+
+from repro.dynamic.dynamic_graph import DynamicGraph
+from repro.dynamic.maintainer import BatchReport, IncrementalCoverMaintainer
+from repro.dynamic.policy import ResolveDecision, ResolvePolicy
+from repro.dynamic.stream import StreamRecord, StreamSummary, run_stream
+from repro.dynamic.updates import (
+    EdgeDelete,
+    EdgeInsert,
+    GraphUpdate,
+    WeightChange,
+    load_update_stream,
+    save_update_stream,
+    update_from_json,
+    update_to_json,
+)
+
+__all__ = [
+    "BatchReport",
+    "DynamicGraph",
+    "EdgeDelete",
+    "EdgeInsert",
+    "GraphUpdate",
+    "IncrementalCoverMaintainer",
+    "ResolveDecision",
+    "ResolvePolicy",
+    "StreamRecord",
+    "StreamSummary",
+    "WeightChange",
+    "load_update_stream",
+    "run_stream",
+    "save_update_stream",
+    "update_from_json",
+    "update_to_json",
+]

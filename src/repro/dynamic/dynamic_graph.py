@@ -1,0 +1,285 @@
+"""Mutable graph view: a canonical snapshot plus a delta log.
+
+:class:`~repro.graphs.WeightedGraph` is deliberately immutable — every
+algorithm in the package depends on its canonical CSR edge order.  A
+dynamic workload therefore needs a wrapper that absorbs updates cheaply and
+re-canonicalizes only occasionally:
+
+* **Base snapshot.**  A frozen :class:`WeightedGraph` in canonical form.
+* **Delta log.**  Edges inserted since the snapshot (``added``), snapshot
+  edges deleted since (``deleted``), and a mutable weight array.  Applying
+  one update is O(1) (amortized; set and adjacency-dict operations).
+* **Compaction.**  :meth:`compact` folds the delta into a fresh canonical
+  snapshot (one O(m log m) rebuild); :meth:`maybe_compact` does so only
+  once the structural delta exceeds a configurable fraction of the
+  snapshot, so a stream of k updates costs O(k) amortized plus a rebuild
+  every Θ(m) structural changes.
+
+Neighbor queries (:meth:`neighbors`, :meth:`has_edge`) answer against the
+*current* graph — base CSR minus deletions plus insertions — which is what
+the incremental repair pass in
+:class:`repro.dynamic.IncrementalCoverMaintainer` needs: it only ever looks
+at the neighborhoods touched by a batch, never at the whole edge set.
+
+:meth:`materialize` produces the current graph as a canonical
+:class:`WeightedGraph` (memoized until the next mutation); its
+:meth:`~repro.graphs.WeightedGraph.content_digest` is the identity used to
+key warm-started re-solves in the service result cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.updates import EdgeDelete, EdgeInsert, GraphUpdate, WeightChange
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph:
+    """A vertex-weighted graph under edge churn and weight changes.
+
+    Parameters
+    ----------
+    base:
+        Initial graph (the vertex set stays fixed at ``base.n``).
+    compact_fraction:
+        :meth:`maybe_compact` folds the delta log into a new snapshot once
+        ``delta_size > max(min_compact, compact_fraction * snapshot_m)``.
+    min_compact:
+        Floor for the compaction trigger (avoids thrashing on tiny graphs).
+    """
+
+    def __init__(
+        self,
+        base: WeightedGraph,
+        *,
+        compact_fraction: float = 0.25,
+        min_compact: int = 256,
+    ):
+        if compact_fraction <= 0:
+            raise ValueError(f"compact_fraction must be > 0, got {compact_fraction}")
+        self.compact_fraction = float(compact_fraction)
+        self.min_compact = int(min_compact)
+        self._weights = np.array(base.weights, dtype=np.float64)  # mutable copy
+        self._generation = 0
+        self._compactions = 0
+        self._set_base(base)
+        # At construction the snapshot *is* the current graph.
+        self._materialized = base
+
+    def _set_base(self, base: WeightedGraph) -> None:
+        self._base = base
+        self._base_ids: Dict[Tuple[int, int], int] = {
+            (int(u), int(v)): e
+            for e, (u, v) in enumerate(zip(base.edges_u, base.edges_v))
+        }
+        self._added: Set[Tuple[int, int]] = set()
+        self._deleted: Set[Tuple[int, int]] = set()
+        self._added_adj: Dict[int, Set[int]] = {}
+        self._deleted_adj: Dict[int, Set[int]] = {}
+        self._materialized: Optional[WeightedGraph] = None
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of vertices (fixed)."""
+        return self._base.n
+
+    @property
+    def m(self) -> int:
+        """Current number of edges."""
+        return self._base.m - len(self._deleted) + len(self._added)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Current vertex weights (live array — mutate via :meth:`apply` only)."""
+        return self._weights
+
+    @property
+    def base(self) -> WeightedGraph:
+        """The canonical snapshot under the delta log."""
+        return self._base
+
+    @property
+    def delta_size(self) -> int:
+        """Structural updates (inserts + deletes) pending since the snapshot."""
+        return len(self._added) + len(self._deleted)
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter bumped by every effective update (cache invalidation)."""
+        return self._generation
+
+    @property
+    def compactions(self) -> int:
+        """Number of snapshot rebuilds performed so far."""
+        return self._compactions
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicGraph(n={self.n}, m={self.m}, delta={self.delta_size}, "
+            f"generation={self._generation})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _key(u: int, v: int) -> Tuple[int, int]:
+        return (u, v) if u < v else (v, u)
+
+    def _check_vertex(self, v: int) -> int:
+        v = int(v)
+        if not (0 <= v < self.n):
+            raise ValueError(f"vertex {v} out of range [0, {self.n})")
+        return v
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff edge ``{u, v}`` exists in the current graph."""
+        u, v = self._check_vertex(u), self._check_vertex(v)
+        if u == v:
+            return False
+        key = self._key(u, v)
+        if key in self._added:
+            return True
+        return key in self._base_ids and key not in self._deleted
+
+    def neighbors(self, v: int) -> Set[int]:
+        """Current neighbor set of ``v`` (a fresh set; safe to mutate)."""
+        v = self._check_vertex(v)
+        out = set(int(x) for x in self._base.neighbors(v))
+        out -= self._deleted_adj.get(v, set())
+        out |= self._added_adj.get(v, set())
+        return out
+
+    def degree(self, v: int) -> int:
+        """Current degree of ``v``."""
+        v = self._check_vertex(v)
+        return (
+            int(self._base.degrees[v])
+            - len(self._deleted_adj.get(v, ()))
+            + len(self._added_adj.get(v, ()))
+        )
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def apply(self, update: GraphUpdate) -> bool:
+        """Apply one update; returns True iff it changed the graph.
+
+        Inserting a present edge, deleting an absent edge, and re-setting a
+        weight to its current value are all no-ops returning False — a
+        replayed stream is idempotent per event.
+        """
+        if isinstance(update, EdgeInsert):
+            return self._insert(update.u, update.v)
+        if isinstance(update, EdgeDelete):
+            return self._delete(update.u, update.v)
+        if isinstance(update, WeightChange):
+            return self._reweight(update.v, update.weight)
+        raise TypeError(f"not a graph update: {type(update).__name__}")
+
+    def _adj_add(self, adj: Dict[int, Set[int]], u: int, v: int) -> None:
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+
+    def _adj_remove(self, adj: Dict[int, Set[int]], u: int, v: int) -> None:
+        adj[u].discard(v)
+        adj[v].discard(u)
+
+    def _insert(self, u: int, v: int) -> bool:
+        u, v = self._check_vertex(u), self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self-loop at vertex {u} is not allowed")
+        key = self._key(u, v)
+        if key in self._added:
+            return False
+        if key in self._base_ids:
+            if key not in self._deleted:
+                return False
+            self._deleted.remove(key)
+            self._adj_remove(self._deleted_adj, *key)
+        else:
+            self._added.add(key)
+            self._adj_add(self._added_adj, *key)
+        self._touch()
+        return True
+
+    def _delete(self, u: int, v: int) -> bool:
+        u, v = self._check_vertex(u), self._check_vertex(v)
+        if u == v:
+            return False
+        key = self._key(u, v)
+        if key in self._added:
+            self._added.remove(key)
+            self._adj_remove(self._added_adj, *key)
+        elif key in self._base_ids and key not in self._deleted:
+            self._deleted.add(key)
+            self._adj_add(self._deleted_adj, *key)
+        else:
+            return False
+        self._touch()
+        return True
+
+    def _reweight(self, v: int, weight: float) -> bool:
+        v = self._check_vertex(v)
+        weight = float(weight)
+        if not np.isfinite(weight) or weight <= 0:
+            raise ValueError(f"vertex weights must be finite and > 0, got {weight}")
+        if self._weights[v] == weight:
+            return False
+        self._weights[v] = weight
+        self._touch()
+        return True
+
+    def _touch(self) -> None:
+        self._generation += 1
+        self._materialized = None
+
+    # ------------------------------------------------------------------ #
+    # materialization / compaction
+    # ------------------------------------------------------------------ #
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current endpoint arrays (not necessarily canonical order)."""
+        bu, bv = self._base.edges_u, self._base.edges_v
+        if self._deleted:
+            # Deleted keys are always snapshot edges, so the id map gives
+            # their edge ids directly — O(|deleted|), not O(m).
+            keep = np.ones(self._base.m, dtype=bool)
+            keep[[self._base_ids[key] for key in self._deleted]] = False
+            bu, bv = bu[keep], bv[keep]
+        if self._added:
+            extra = np.array(sorted(self._added), dtype=np.int64).reshape(-1, 2)
+            bu = np.concatenate([np.asarray(bu), extra[:, 0]])
+            bv = np.concatenate([np.asarray(bv), extra[:, 1]])
+        return np.asarray(bu, dtype=np.int64), np.asarray(bv, dtype=np.int64)
+
+    def materialize(self) -> WeightedGraph:
+        """The current graph as a canonical :class:`WeightedGraph` (memoized)."""
+        if self._materialized is None:
+            u, v = self.edge_arrays()
+            self._materialized = WeightedGraph(self.n, u, v, self._weights.copy())
+        return self._materialized
+
+    def compact(self) -> WeightedGraph:
+        """Fold the delta log into a fresh canonical snapshot and return it."""
+        if self._materialized is not self._base:
+            snapshot = self.materialize()
+            self._set_base(snapshot)
+            self._materialized = snapshot
+            self._compactions += 1
+        return self._base
+
+    def maybe_compact(self) -> bool:
+        """Compact iff the structural delta outgrew the snapshot; True if it did."""
+        threshold = max(self.min_compact, int(self.compact_fraction * self._base.m))
+        if self.delta_size > threshold:
+            self.compact()
+            return True
+        return False

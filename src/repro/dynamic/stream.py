@@ -1,0 +1,230 @@
+"""End-to-end stream processing: maintainer + policy + batch service.
+
+:func:`run_stream` is the orchestration layer behind ``repro stream``: it
+chops an update stream into batches, drives
+:class:`~repro.dynamic.IncrementalCoverMaintainer` over them, evaluates the
+:class:`~repro.dynamic.ResolvePolicy` after each batch, and executes
+triggered re-solves through a :class:`~repro.service.BatchSolver`.
+
+Re-solves are *warm-started at the service layer*: the request is keyed by
+the compacted graph's content digest, so a graph state seen before (e.g.
+sliding-window churn that returns to a previous window, or replaying a
+stream) is answered from the result cache without touching the solver.
+
+Every batch yields a :class:`StreamRecord` (JSON-friendly), and the final
+state is verified exactly against the materialized graph before the
+summary is returned — ``run_stream`` never hands back an unverified cover.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.dynamic.dynamic_graph import DynamicGraph
+from repro.dynamic.maintainer import BatchReport, IncrementalCoverMaintainer
+from repro.dynamic.policy import ResolvePolicy
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.updates import GraphUpdate
+from repro.service.batch import BatchSolver
+from repro.service.schema import SolveRequest
+
+__all__ = ["StreamRecord", "StreamSummary", "run_stream"]
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """One processed batch: maintainer report + policy outcome + timing."""
+
+    batch_index: int
+    report: BatchReport
+    resolved: bool
+    resolve_reason: str
+    resolve_cache_hit: bool
+    certified_ratio_after: float
+    elapsed_s: float
+
+    def summary(self) -> dict:
+        """Flat JSON-friendly row (one line of ``repro stream --out``)."""
+        row = {"batch_index": self.batch_index}
+        row.update(self.report.summary())
+        row.update(
+            {
+                "resolved": self.resolved,
+                "resolve_reason": self.resolve_reason,
+                "resolve_cache_hit": self.resolve_cache_hit,
+                "certified_ratio_after": self.certified_ratio_after,
+                "elapsed_s": round(self.elapsed_s, 6),
+            }
+        )
+        return row
+
+
+@dataclass
+class StreamSummary:
+    """Aggregate outcome of :func:`run_stream`."""
+
+    num_updates: int
+    num_batches: int
+    num_resolves: int
+    num_resolve_cache_hits: int
+    final_cover_weight: float
+    final_dual_value: float
+    final_certified_ratio: float
+    final_is_cover: bool
+    elapsed_s: float
+    records: List[StreamRecord] = field(repr=False, default_factory=list)
+
+    def summary(self) -> dict:
+        """Scalar JSON-friendly summary (the ``repro stream`` footer)."""
+        return {
+            "num_updates": self.num_updates,
+            "num_batches": self.num_batches,
+            "num_resolves": self.num_resolves,
+            "num_resolve_cache_hits": self.num_resolve_cache_hits,
+            "final_cover_weight": self.final_cover_weight,
+            "final_dual_value": self.final_dual_value,
+            "final_certified_ratio": self.final_certified_ratio,
+            "final_is_cover": self.final_is_cover,
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
+
+
+def _batches(updates: Sequence[GraphUpdate], size: int) -> Iterable[List[GraphUpdate]]:
+    for i in range(0, len(updates), size):
+        yield list(updates[i : i + size])
+
+
+def _resolve(
+    maintainer: IncrementalCoverMaintainer,
+    solver: BatchSolver,
+    *,
+    eps: float,
+    seed: int,
+    engine: str,
+) -> bool:
+    """Full re-solve of the current graph through the service; returns
+    whether the answer came from the result cache."""
+    graph = maintainer.dyn.compact()
+    request = SolveRequest(graph=graph, eps=eps, seed=seed, engine=engine)
+    result = solver.solve(request)
+    if not result.ok or result.result is None:
+        raise RuntimeError(f"re-solve failed: {result.error}")
+    maintainer.adopt(result.result, graph=graph)
+    return result.cache_hit
+
+
+def run_stream(
+    graph: WeightedGraph,
+    updates: Sequence[GraphUpdate],
+    *,
+    batch_size: int = 64,
+    policy: Optional[ResolvePolicy] = None,
+    solver: Optional[BatchSolver] = None,
+    eps: float = 0.1,
+    seed: int = 0,
+    engine: str = "vectorized",
+    verify_every: int = 0,
+    compact_fraction: float = 0.25,
+) -> StreamSummary:
+    """Maintain a certified cover over ``graph`` while replaying ``updates``.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph; solved once up front to seed the maintainer.
+    updates:
+        The update stream (see :mod:`repro.dynamic.updates`).
+    batch_size:
+        Updates per repair batch (the granularity of policy evaluation).
+    policy:
+        Re-solve trigger; defaults to ``ResolvePolicy()`` (25% drift).
+    solver:
+        Batch service used for the initial solve and all re-solves; a
+        private in-process solver is created (and closed) when omitted.
+    eps, seed, engine:
+        Solve parameters forwarded to every :class:`SolveRequest` — they
+        are part of the cache key, so a replay with equal parameters is
+        answered from cache.
+    verify_every:
+        When > 0, exactly re-verify the cover against the materialized
+        graph every k batches (defense in depth; the final state is always
+        verified).
+    compact_fraction:
+        Delta-log compaction threshold of the underlying
+        :class:`DynamicGraph`.
+
+    Raises
+    ------
+    RuntimeError
+        If a re-solve fails, or a verification pass catches an invalid
+        cover (which would be a maintainer bug, not a data error).
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    policy = policy or ResolvePolicy()
+    own_solver = solver is None
+    if own_solver:
+        solver = BatchSolver(use_processes=False)
+
+    start = time.perf_counter()
+    dyn = DynamicGraph(graph, compact_fraction=compact_fraction)
+    maintainer = IncrementalCoverMaintainer(dyn)
+    records: List[StreamRecord] = []
+    num_resolves = 0
+    cache_hits = 0
+    batches_since = 0
+    try:
+        if graph.m:
+            hit = _resolve(maintainer, solver, eps=eps, seed=seed, engine=engine)
+            num_resolves += 1
+            cache_hits += int(hit)
+        for index, batch in enumerate(_batches(updates, batch_size)):
+            t0 = time.perf_counter()
+            report = maintainer.apply_batch(batch)
+            batches_since += 1
+            decision = policy.should_resolve(
+                certified_ratio=report.certificate.certified_ratio,
+                base_ratio=maintainer.base_ratio,
+                batches_since_resolve=batches_since,
+            )
+            hit = False
+            if decision:
+                hit = _resolve(maintainer, solver, eps=eps, seed=seed, engine=engine)
+                num_resolves += 1
+                cache_hits += int(hit)
+                batches_since = 0
+            if verify_every and (index + 1) % verify_every == 0:
+                if not maintainer.verify():  # pragma: no cover - invariant guard
+                    raise RuntimeError(
+                        f"invalid cover after batch {index} — maintainer bug"
+                    )
+            records.append(
+                StreamRecord(
+                    batch_index=index,
+                    report=report,
+                    resolved=bool(decision),
+                    resolve_reason=decision.reason,
+                    resolve_cache_hit=hit,
+                    certified_ratio_after=maintainer.certified_ratio(),
+                    elapsed_s=time.perf_counter() - t0,
+                )
+            )
+    finally:
+        if own_solver:
+            solver.close()
+
+    cert = maintainer.certificate()
+    return StreamSummary(
+        num_updates=len(updates),
+        num_batches=len(records),
+        num_resolves=num_resolves,
+        num_resolve_cache_hits=cache_hits,
+        final_cover_weight=cert.cover_weight,
+        final_dual_value=cert.dual_value,
+        final_certified_ratio=cert.certified_ratio,
+        final_is_cover=maintainer.verify(),
+        elapsed_s=time.perf_counter() - start,
+        records=records,
+    )

@@ -1,0 +1,29 @@
+"""Re-export of the graph update events (historical import path).
+
+The event types live in :mod:`repro.graphs.updates` — the leaf module of
+the graph substrate layer — so that :mod:`repro.graphs` never has to
+import this package.  The dynamic subsystem's public API keeps exposing
+them here.
+"""
+
+from repro.graphs.updates import (
+    EdgeDelete,
+    EdgeInsert,
+    GraphUpdate,
+    WeightChange,
+    load_update_stream,
+    save_update_stream,
+    update_from_json,
+    update_to_json,
+)
+
+__all__ = [
+    "EdgeDelete",
+    "EdgeInsert",
+    "GraphUpdate",
+    "WeightChange",
+    "load_update_stream",
+    "save_update_stream",
+    "update_from_json",
+    "update_to_json",
+]

@@ -35,6 +35,21 @@ from repro.graphs.generators_extra import (
 from repro.graphs.components import component_labels, largest_component, split_components
 from repro.graphs.io import load_edgelist, load_npz, save_edgelist, save_npz
 from repro.graphs.checks import GraphInvariantError, validate_graph
+from repro.graphs.streams import (
+    CHURN_MODELS,
+    hub_churn_stream,
+    make_update_stream,
+    sliding_window_stream,
+    uniform_churn_stream,
+)
+from repro.graphs.updates import (
+    EdgeDelete,
+    EdgeInsert,
+    GraphUpdate,
+    WeightChange,
+    load_update_stream,
+    save_update_stream,
+)
 
 __all__ = [
     "WeightedGraph",
@@ -57,6 +72,18 @@ __all__ = [
     "random_geometric",
     "hypercube",
     "preferential_attachment",
+    # update events + streams
+    "EdgeInsert",
+    "EdgeDelete",
+    "WeightChange",
+    "GraphUpdate",
+    "load_update_stream",
+    "save_update_stream",
+    "CHURN_MODELS",
+    "make_update_stream",
+    "uniform_churn_stream",
+    "hub_churn_stream",
+    "sliding_window_stream",
     # components
     "component_labels",
     "split_components",

@@ -6,12 +6,17 @@ Two formats:
   workload caching: endpoint arrays + weights in one compressed file.
 * **Text edge list** (interoperable) — ``n`` and per-vertex weights in a
   header, one ``u v`` pair per line; loadable by standard tooling.
+  Paths ending in ``.gz`` are transparently gzip-compressed on save and
+  decompressed on load, and the edge body is parsed in fixed-size chunks,
+  so loading an f-GB edge list needs the output arrays plus O(chunk)
+  transient memory — never the whole text at once.
 """
 
 from __future__ import annotations
 
+import gzip
 import os
-from typing import Union
+from typing import IO, Union
 
 import numpy as np
 
@@ -22,6 +27,17 @@ __all__ = ["save_npz", "load_npz", "save_edgelist", "load_edgelist"]
 PathLike = Union[str, "os.PathLike[str]"]
 
 _FORMAT_VERSION = 1
+
+#: Edges parsed per chunk by :func:`load_edgelist` — bounds transient
+#: parsing memory independently of file size.
+EDGELIST_CHUNK = 1 << 16
+
+
+def _open_text(path: PathLike, mode: str) -> IO[str]:
+    """Open a text file, gzip-wrapped iff the path ends in ``.gz``."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
 
 
 def save_npz(graph: WeightedGraph, path: PathLike) -> None:
@@ -55,8 +71,10 @@ def save_edgelist(graph: WeightedGraph, path: PathLike) -> None:
         w <w_0> <w_1> ... <w_{n-1}>
         <u> <v>
         ...
+
+    A ``.gz`` suffix selects gzip compression.
     """
-    with open(path, "w", encoding="ascii") as fh:
+    with _open_text(path, "w") as fh:
         fh.write("# mwvc-edgelist v1\n")
         fh.write(f"n {graph.n} m {graph.m}\n")
         fh.write("w " + " ".join(repr(float(w)) for w in graph.weights) + "\n")
@@ -64,9 +82,19 @@ def save_edgelist(graph: WeightedGraph, path: PathLike) -> None:
             fh.write(f"{int(u)} {int(v)}\n")
 
 
-def load_edgelist(path: PathLike) -> WeightedGraph:
-    """Read a graph previously written by :func:`save_edgelist`."""
-    with open(path, "r", encoding="ascii") as fh:
+def load_edgelist(
+    path: PathLike, *, chunk_edges: int = EDGELIST_CHUNK
+) -> WeightedGraph:
+    """Read a graph previously written by :func:`save_edgelist`.
+
+    Handles plain and gzip-compressed (``.gz``) files.  The edge body is
+    parsed ``chunk_edges`` lines at a time into the preallocated endpoint
+    arrays, keeping transient memory constant per chunk regardless of file
+    size.
+    """
+    if chunk_edges < 1:
+        raise ValueError(f"chunk_edges must be >= 1, got {chunk_edges}")
+    with _open_text(path, "r") as fh:
         header = fh.readline().strip()
         if header != "# mwvc-edgelist v1":
             raise ValueError(f"unrecognized edgelist header: {header!r}")
@@ -82,9 +110,17 @@ def load_edgelist(path: PathLike) -> WeightedGraph:
             raise ValueError(f"expected {n} weights, found {weights.size}")
         us = np.empty(m, dtype=np.int64)
         vs = np.empty(m, dtype=np.int64)
-        for i in range(m):
-            parts = fh.readline().split()
-            if len(parts) != 2:
-                raise ValueError(f"malformed edge line {i}: {parts!r}")
-            us[i], vs[i] = int(parts[0]), int(parts[1])
+        done = 0
+        while done < m:
+            want = min(chunk_edges, m - done)
+            chunk = []
+            for _ in range(want):
+                parts = fh.readline().split()
+                if len(parts) != 2:
+                    raise ValueError(f"malformed edge line {done + len(chunk)}: {parts!r}")
+                chunk.append(parts)
+            block = np.asarray(chunk, dtype=np.int64)
+            us[done : done + want] = block[:, 0]
+            vs[done : done + want] = block[:, 1]
+            done += want
     return WeightedGraph(n, us, vs, weights)

@@ -1,0 +1,144 @@
+"""Graph update events and their JSON-lines wire format.
+
+A dynamic workload is a stream of three event kinds:
+
+* ``{"op": "insert", "u": 3, "v": 7}``      — add edge ``{3, 7}``;
+* ``{"op": "delete", "u": 3, "v": 7}``      — remove edge ``{3, 7}``;
+* ``{"op": "reweight", "v": 3, "weight": 2.5}`` — set ``w(3) = 2.5``.
+
+The vertex set is fixed for the lifetime of a stream (vertex churn is
+modeled as weight changes plus edge churn around the vertex); endpoints are
+unordered, so ``insert 3 7`` and ``insert 7 3`` denote the same event.
+
+Events are plain frozen dataclasses — :data:`GraphUpdate` is their union —
+so streams can be built programmatically (see :mod:`repro.graphs.streams`),
+serialized one JSON object per line, and replayed through
+:class:`repro.dynamic.DynamicGraph`.  Blank lines and ``#`` comments are
+skipped on load, mirroring the batch-manifest format.
+
+This module lives in the graph substrate layer (events *are* graph
+mutations) and imports nothing from the rest of the package, so both
+:mod:`repro.graphs.streams` and the :mod:`repro.dynamic` subsystem can
+depend on it without entangling the two packages.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import IO, Iterable, List, Union
+
+__all__ = [
+    "EdgeInsert",
+    "EdgeDelete",
+    "WeightChange",
+    "GraphUpdate",
+    "update_to_json",
+    "update_from_json",
+    "save_update_stream",
+    "load_update_stream",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+@dataclass(frozen=True)
+class EdgeInsert:
+    """Add the undirected edge ``{u, v}`` (no-op if already present)."""
+
+    u: int
+    v: int
+
+
+@dataclass(frozen=True)
+class EdgeDelete:
+    """Remove the undirected edge ``{u, v}`` (no-op if absent)."""
+
+    u: int
+    v: int
+
+
+@dataclass(frozen=True)
+class WeightChange:
+    """Set vertex ``v``'s weight to ``weight`` (must stay positive)."""
+
+    v: int
+    weight: float
+
+
+GraphUpdate = Union[EdgeInsert, EdgeDelete, WeightChange]
+
+
+def update_to_json(update: GraphUpdate) -> dict:
+    """One update as its wire-format JSON object."""
+    if isinstance(update, EdgeInsert):
+        return {"op": "insert", "u": int(update.u), "v": int(update.v)}
+    if isinstance(update, EdgeDelete):
+        return {"op": "delete", "u": int(update.u), "v": int(update.v)}
+    if isinstance(update, WeightChange):
+        return {"op": "reweight", "v": int(update.v), "weight": float(update.weight)}
+    raise TypeError(f"not a graph update: {type(update).__name__}")
+
+
+def update_from_json(spec: dict) -> GraphUpdate:
+    """Parse one wire-format JSON object into an update event."""
+    if not isinstance(spec, dict):
+        raise ValueError(f"update record must be a JSON object, got {type(spec).__name__}")
+    op = spec.get("op")
+    if op in ("insert", "delete"):
+        extra = set(spec) - {"op", "u", "v"}
+        if extra:
+            raise ValueError(f"unknown keys {sorted(extra)} for op {op!r}")
+        try:
+            u, v = int(spec["u"]), int(spec["v"])
+        except KeyError as exc:
+            raise ValueError(f"op {op!r} needs keys 'u' and 'v'") from exc
+        return EdgeInsert(u, v) if op == "insert" else EdgeDelete(u, v)
+    if op == "reweight":
+        extra = set(spec) - {"op", "v", "weight"}
+        if extra:
+            raise ValueError(f"unknown keys {sorted(extra)} for op 'reweight'")
+        try:
+            v, w = int(spec["v"]), float(spec["weight"])
+        except KeyError as exc:
+            raise ValueError("op 'reweight' needs keys 'v' and 'weight'") from exc
+        if not math.isfinite(w) or w <= 0:
+            raise ValueError(f"reweight weight must be finite and > 0, got {w}")
+        return WeightChange(v, w)
+    raise ValueError(f"unknown op {op!r}; expected 'insert', 'delete' or 'reweight'")
+
+
+def save_update_stream(updates: Iterable[GraphUpdate], path: PathLike) -> None:
+    """Write a stream as JSON lines (gzip-compressed iff ``path`` ends ``.gz``)."""
+    opener = gzip.open if str(path).endswith(".gz") else open
+    with opener(path, "wt", encoding="utf-8") as fh:
+        for upd in updates:
+            fh.write(json.dumps(update_to_json(upd)))
+            fh.write("\n")
+
+
+def load_update_stream(source: Union[PathLike, IO[str], Iterable[str]]) -> List[GraphUpdate]:
+    """Parse a JSON-lines update stream.
+
+    ``source`` is a path (``.gz`` transparently decompressed), an open text
+    stream, or any iterable of lines.  A malformed line raises
+    ``ValueError`` naming its line number — an update stream is input data,
+    so it fails loudly up front rather than mid-replay.
+    """
+    if isinstance(source, (str, bytes, os.PathLike)):
+        opener = gzip.open if str(source).endswith(".gz") else open
+        with opener(source, "rt", encoding="utf-8") as fh:
+            return load_update_stream(list(fh))
+    updates: List[GraphUpdate] = []
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            updates.append(update_from_json(json.loads(line)))
+        except ValueError as exc:
+            raise ValueError(f"update stream line {lineno}: {exc}") from exc
+    return updates

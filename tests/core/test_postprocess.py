@@ -84,3 +84,103 @@ class TestIsMinimal:
 
     def test_two_of_three_minimal(self, triangle):
         assert is_minimal_cover(triangle, np.array([True, True, False]))
+
+
+class TestWeightedTies:
+    """Tie-breaking is by vertex id, so pruning is fully deterministic."""
+
+    def test_equal_weight_tie_drops_lowest_id(self):
+        # Triangle, all weights equal: every vertex is droppable first;
+        # the id tie-break must pick vertex 0.
+        g = complete_graph(3).with_weights(np.array([2.0, 2.0, 2.0]))
+        pruned = prune_redundant_vertices(g, np.ones(3, dtype=bool))
+        assert pruned.tolist() == [False, True, True]
+
+    def test_tied_effectiveness_different_degrees(self):
+        # Path 0-1-2-3 (+ extra edge 1-3): w/deg ties between several
+        # vertices; result must still be a minimal cover and deterministic.
+        g = WeightedGraph.from_edge_list(4, [(0, 1), (1, 2), (2, 3), (1, 3)],
+                                         np.array([1.0, 2.0, 2.0, 2.0]))
+        pruned = prune_redundant_vertices(g, np.ones(4, dtype=bool))
+        repeat = prune_redundant_vertices(g, np.ones(4, dtype=bool))
+        assert (pruned == repeat).all()
+        assert is_minimal_cover(g, pruned)
+
+    def test_weighted_tie_prefers_heavier_per_edge(self):
+        # Star with hub weight 3 (deg 3 → 1.0 each) and leaves weight 1
+        # (deg 1 → 1.0 each): all tie at w/deg = 1; id order drops the hub
+        # first, then the leaves are locked in.
+        g = star(4).with_weights(np.array([3.0, 1.0, 1.0, 1.0]))
+        pruned = prune_redundant_vertices(g, np.ones(4, dtype=bool))
+        assert pruned.tolist() == [False, True, True, True]
+
+
+class TestIsolatedVertices:
+    def test_only_isolated_vertices(self):
+        g = WeightedGraph.empty(5)
+        pruned = prune_redundant_vertices(g, np.ones(5, dtype=bool))
+        assert not pruned.any()
+
+    def test_isolated_lead_regardless_of_weight(self):
+        # An isolated vertex with tiny weight still goes before any
+        # connected vertex (it covers nothing at all).
+        g = WeightedGraph.from_edge_list(3, [(0, 1)],
+                                         np.array([5.0, 5.0, 0.001]))
+        pruned = prune_redundant_vertices(g, np.ones(3, dtype=bool))
+        assert not pruned[2]
+        assert is_minimal_cover(g, pruned)
+
+    def test_isolated_outside_cover_untouched(self):
+        g = WeightedGraph.from_edge_list(3, [(0, 1)])
+        mask = np.array([True, True, False])
+        pruned = prune_redundant_vertices(g, mask)
+        assert not pruned[2]
+
+
+class TestCandidates:
+    """The restricted sweep of the incremental hot path."""
+
+    def test_non_candidates_keep_state(self):
+        g = complete_graph(3)
+        pruned = prune_redundant_vertices(
+            g, np.ones(3, dtype=bool), candidates=np.array([2])
+        )
+        # Only vertex 2 may be dropped; 0 and 1 stay even though a full
+        # sweep would drop one of them too.
+        assert pruned.tolist() == [True, True, False]
+
+    def test_full_candidates_match_unrestricted(self):
+        g = gnp_average_degree(200, 8.0, seed=6)
+        g = g.with_weights(uniform_weights(g.n, seed=7))
+        res = minimum_weight_vertex_cover(g, eps=0.1, seed=8)
+        full = prune_redundant_vertices(g, res.in_cover)
+        restricted = prune_redundant_vertices(
+            g, res.in_cover, candidates=np.ones(g.n, dtype=bool)
+        )
+        assert (full == restricted).all()
+
+    def test_empty_candidates_is_identity(self, triangle):
+        mask = np.ones(3, dtype=bool)
+        pruned = prune_redundant_vertices(
+            triangle, mask, candidates=np.empty(0, dtype=np.int64)
+        )
+        assert (pruned == mask).all()
+
+    def test_boolean_mask_candidates(self):
+        g = star(6)
+        cand = np.zeros(6, dtype=bool)
+        cand[3] = True
+        pruned = prune_redundant_vertices(g, np.ones(6, dtype=bool), candidates=cand)
+        assert pruned.tolist() == [True, True, True, False, True, True]
+
+    def test_bad_candidate_ids(self, triangle):
+        with pytest.raises(ValueError, match="candidate ids"):
+            prune_redundant_vertices(
+                triangle, np.ones(3, dtype=bool), candidates=np.array([7])
+            )
+
+    def test_bad_candidate_mask_shape(self, triangle):
+        with pytest.raises(ValueError, match="candidates mask"):
+            prune_redundant_vertices(
+                triangle, np.ones(3, dtype=bool), candidates=np.ones(5, dtype=bool)
+            )

@@ -1,0 +1,165 @@
+"""End-to-end stream tests, including the randomized 500-update run."""
+
+import numpy as np
+import pytest
+
+from repro.core.mpc_mwvc import minimum_weight_vertex_cover
+from repro.dynamic import (
+    DynamicGraph,
+    EdgeDelete,
+    EdgeInsert,
+    IncrementalCoverMaintainer,
+    ResolvePolicy,
+    WeightChange,
+    run_stream,
+)
+from repro.graphs.generators import gnp_average_degree
+from repro.graphs.weights import uniform_weights
+from repro.service.batch import BatchSolver
+
+EPS = 0.1
+
+
+def _workload(n=250, seed=1):
+    g = gnp_average_degree(n, 8.0, seed=seed)
+    return g.with_weights(uniform_weights(g.n, 1.0, 10.0, seed=seed + 1))
+
+
+def _mixed_updates(n, count, seed):
+    rng = np.random.default_rng(seed)
+    out = []
+    while len(out) < count:
+        r = rng.random()
+        u, v = (int(x) for x in rng.integers(0, n, size=2))
+        if r < 0.35 and u != v:
+            out.append(EdgeInsert(u, v))
+        elif r < 0.7 and u != v:
+            out.append(EdgeDelete(u, v))
+        elif r >= 0.7:
+            out.append(WeightChange(u, float(rng.uniform(0.5, 15.0))))
+    return out
+
+
+class TestRandomizedStream:
+    """The acceptance run: ≥500 mixed updates, validity at every step."""
+
+    def test_validity_every_step_and_resolve_restores_ratio(self):
+        graph = _workload()
+        updates = _mixed_updates(graph.n, 500, seed=5)
+        assert len(updates) >= 500
+        kinds = {type(u) for u in updates}
+        assert kinds == {EdgeInsert, EdgeDelete, WeightChange}
+
+        dyn = DynamicGraph(graph)
+        maintainer = IncrementalCoverMaintainer(dyn)
+        maintainer.adopt(minimum_weight_vertex_cover(graph, eps=EPS, seed=2))
+        policy = ResolvePolicy(max_drift=0.15)
+        resolves = 0
+        for step, upd in enumerate(updates):
+            report = maintainer.apply_batch([upd])
+            # Validity after *every* update, checked exactly against the
+            # materialized graph.
+            assert maintainer.verify(), f"invalid cover after update {step}"
+            decision = policy.should_resolve(
+                certified_ratio=report.certificate.certified_ratio,
+                base_ratio=maintainer.base_ratio,
+                batches_since_resolve=1,
+            )
+            if decision:
+                res = minimum_weight_vertex_cover(
+                    dyn.compact(), eps=EPS, seed=2
+                )
+                cert = maintainer.adopt(res)
+                resolves += 1
+                # A triggered re-solve restores a (2+ε)-grade certificate.
+                assert cert.certified_ratio <= 2.0 + EPS, (
+                    f"re-solve at step {step} left ratio {cert.certified_ratio}"
+                )
+                assert maintainer.verify()
+        # The churn above is drastic enough that at least one re-solve fires.
+        assert resolves >= 1
+        assert maintainer.certified_ratio() <= (2.0 + EPS) * (1.0 + policy.max_drift)
+
+    def test_run_stream_drift_policy(self):
+        graph = _workload(seed=3)
+        updates = _mixed_updates(graph.n, 500, seed=7)
+        summary = run_stream(
+            graph,
+            updates,
+            batch_size=25,
+            policy=ResolvePolicy(max_drift=0.15),
+            eps=EPS,
+            seed=4,
+            verify_every=1,
+        )
+        assert summary.final_is_cover
+        assert summary.num_batches == 20
+        assert summary.num_updates == 500
+        # Strictly fewer re-solves than the every-batch baseline would use.
+        assert summary.num_resolves < summary.num_batches + 1
+        for record in summary.records:
+            if record.resolved:
+                assert record.certified_ratio_after <= 2.0 + EPS
+        # The exposed cover is never worse-certified than the policy bound
+        # plus one batch of damage; after the final batch it is within it.
+        assert summary.final_certified_ratio <= (2.0 + EPS) * 1.15 + 1e-9
+
+
+class TestRunStream:
+    def test_every_batch_policy_resolves_each_batch(self):
+        graph = _workload(n=120, seed=9)
+        updates = _mixed_updates(graph.n, 60, seed=11)
+        summary = run_stream(
+            graph,
+            updates,
+            batch_size=20,
+            policy=ResolvePolicy(every_batch=True),
+            eps=EPS,
+            seed=5,
+        )
+        assert summary.num_batches == 3
+        assert summary.num_resolves == 4  # initial + one per batch
+        assert all(r.resolved for r in summary.records)
+
+    def test_replay_hits_result_cache(self):
+        graph = _workload(n=120, seed=9)
+        updates = _mixed_updates(graph.n, 60, seed=11)
+        with BatchSolver(use_processes=False, cache=64) as solver:
+            first = run_stream(
+                graph, updates, batch_size=20, solver=solver,
+                policy=ResolvePolicy(every_batch=True), eps=EPS, seed=5,
+            )
+            second = run_stream(
+                graph, updates, batch_size=20, solver=solver,
+                policy=ResolvePolicy(every_batch=True), eps=EPS, seed=5,
+            )
+        assert first.num_resolve_cache_hits == 0
+        # The replay revisits identical graph states with identical solve
+        # parameters — every re-solve is answered from the cache.
+        assert second.num_resolve_cache_hits == second.num_resolves
+        assert second.final_cover_weight == pytest.approx(first.final_cover_weight)
+
+    def test_record_summaries_are_json_friendly(self):
+        import json
+
+        graph = _workload(n=100, seed=13)
+        updates = _mixed_updates(graph.n, 40, seed=13)
+        summary = run_stream(graph, updates, batch_size=10, eps=EPS, seed=6)
+        json.dumps(summary.summary())
+        for record in summary.records:
+            json.dumps(record.summary())
+
+    def test_edgeless_initial_graph(self):
+        from repro.graphs.graph import WeightedGraph
+
+        graph = WeightedGraph.empty(10)
+        updates = [EdgeInsert(0, 1), EdgeInsert(2, 3), EdgeDelete(0, 1)]
+        summary = run_stream(graph, updates, batch_size=2, eps=EPS, seed=7)
+        assert summary.final_is_cover
+        # No initial solve on an edgeless graph; repairs bootstrap covers.
+        assert summary.num_resolves <= 1
+
+    def test_bad_batch_size(self):
+        graph = _workload(n=50, seed=15)
+        with pytest.raises(ValueError, match="batch_size"):
+            run_stream(graph, [], batch_size=0)

@@ -80,3 +80,62 @@ class TestEdgelist:
         path.write_text("# mwvc-edgelist v1\nn 3 m 0\nw 1.0 2.0\n")
         with pytest.raises(ValueError, match="weights"):
             load_edgelist(path)
+
+
+class TestGzipEdgelist:
+    def test_gzip_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        save_edgelist(sample, path)
+        # Really gzip on disk, not just a renamed text file.
+        with open(path, "rb") as fh:
+            assert fh.read(2) == b"\x1f\x8b"
+        assert load_edgelist(path) == sample
+
+    def test_gzip_roundtrip_empty(self, tmp_path):
+        g = WeightedGraph.empty(3)
+        path = tmp_path / "e.txt.gz"
+        save_edgelist(g, path)
+        assert load_edgelist(path) == g
+
+    def test_gzip_smaller_than_plain(self, tmp_path):
+        g = gnp_average_degree(600, 10.0, seed=12)
+        plain = tmp_path / "g.txt"
+        packed = tmp_path / "g.txt.gz"
+        save_edgelist(g, plain)
+        save_edgelist(g, packed)
+        assert packed.stat().st_size < plain.stat().st_size
+
+
+class TestChunkedLoading:
+    def test_small_chunks_match_default(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edgelist(sample, path)
+        assert load_edgelist(path, chunk_edges=7) == load_edgelist(path)
+
+    def test_chunk_of_one(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edgelist(sample, path)
+        assert load_edgelist(path, chunk_edges=1) == sample
+
+    def test_chunk_exactly_m(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edgelist(sample, path)
+        assert load_edgelist(path, chunk_edges=sample.m) == sample
+
+    def test_bad_chunk_size(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edgelist(sample, path)
+        with pytest.raises(ValueError, match="chunk_edges"):
+            load_edgelist(path, chunk_edges=0)
+
+    def test_truncated_gzip_edges(self, sample, tmp_path):
+        import gzip
+
+        path = tmp_path / "g.txt.gz"
+        save_edgelist(sample, path)
+        with gzip.open(path, "rt", encoding="ascii") as fh:
+            lines = fh.read().splitlines()
+        with gzip.open(path, "wt", encoding="ascii") as fh:
+            fh.write("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="edge line"):
+            load_edgelist(path)

@@ -164,3 +164,83 @@ class TestParser:
     def test_unknown_family(self):
         with pytest.raises(SystemExit):
             main(["solve", "--family", "moebius"])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
+
+class TestMissingInput:
+    def test_solve_missing_file_is_clean_error(self, tmp_path):
+        missing = tmp_path / "nope.npz"
+        with pytest.raises(SystemExit, match="input file not found"):
+            main(["solve", "--input", str(missing)])
+
+    def test_solve_missing_edgelist(self, tmp_path):
+        missing = tmp_path / "nope.txt"
+        with pytest.raises(SystemExit, match="input file not found"):
+            main(["solve", "--input", str(missing)])
+
+    def test_corrupt_input_is_clean_error(self, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("junk\n")
+        with pytest.raises(SystemExit, match="cannot read input file"):
+            main(["solve", "--input", str(bad)])
+
+    def test_stream_missing_updates_file(self, tmp_path):
+        missing = tmp_path / "nope.jsonl"
+        with pytest.raises(SystemExit, match="update stream not found"):
+            main(["stream", "--family", "gnp", "--n", "60", "--degree", "4",
+                  "--seed", "1", "--updates", str(missing)])
+
+
+class TestStream:
+    def test_generated_churn_stream(self, tmp_path, capsys):
+        out = tmp_path / "records.jsonl"
+        rc = main(["stream", "--family", "gnp", "--n", "150", "--degree", "6",
+                   "--weights", "uniform", "--seed", "1", "--churn", "uniform",
+                   "--num-updates", "120", "--batch-size", "30",
+                   "--out", str(out)])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["final_is_cover"] is True
+        assert summary["num_batches"] == 4
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 4
+        assert all("certified_ratio" in r for r in rows)
+
+    def test_updates_file_stream(self, tmp_path, capsys):
+        from repro.dynamic import save_update_stream
+        from repro.graphs.streams import uniform_churn_stream
+        from repro.service.manifest import generate_graph
+
+        g = generate_graph("gnp", n=100, degree=6.0, seed=2)
+        stream_path = tmp_path / "stream.jsonl.gz"
+        save_update_stream(uniform_churn_stream(g, 80, seed=3), stream_path)
+        rc = main(["stream", "--family", "gnp", "--n", "100", "--degree", "6",
+                   "--seed", "2", "--weights", "unit",
+                   "--updates", str(stream_path), "--batch-size", "40"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["num_updates"] == 80
+        assert summary["final_is_cover"] is True
+
+    def test_resolve_every_batch_flag(self, capsys):
+        rc = main(["stream", "--family", "gnp", "--n", "80", "--degree", "5",
+                   "--seed", "4", "--churn", "sliding_window",
+                   "--num-updates", "60", "--batch-size", "30",
+                   "--resolve-every-batch"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["num_resolves"] == summary["num_batches"] + 1
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit, match="max_drift"):
+            main(["stream", "--family", "gnp", "--n", "60", "--degree", "4",
+                  "--seed", "5", "--num-updates", "10", "--max-drift", "-1"])
