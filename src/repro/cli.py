@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro solve      # run a cover algorithm on a file or a
                                # generated workload, print the summary
@@ -10,6 +10,9 @@ Five subcommands::
                                # through the pooled/cached batch service
     python -m repro stream     # maintain a certified cover over a
                                # JSON-lines update stream (or generated churn)
+    python -m repro resume     # pick up a killed `repro stream
+                               # --checkpoint-dir` run: restore the last
+                               # snapshot, replay the WAL tail, finish
 
 Examples
 --------
@@ -36,6 +39,12 @@ Maintain a cover over 2000 generated churn events::
 
     python -m repro stream --family gnp --n 2000 --degree 12 \\
         --churn uniform --num-updates 2000 --max-drift 0.25 --out records.jsonl
+
+Run the same stream durably, kill it, and resume exactly where it died::
+
+    python -m repro stream --family gnp --n 2000 --degree 12 \\
+        --churn uniform --num-updates 2000 --checkpoint-dir ckpt
+    python -m repro resume --checkpoint-dir ckpt
 """
 
 from __future__ import annotations
@@ -258,8 +267,56 @@ def _cmd_batch(args) -> int:
     return 1 if failed else 0
 
 
+def _open_stream_out(args):
+    """Open ``--out`` up front: a bad path must fail in milliseconds, not
+    after a stream worth of compute."""
+    if not args.out or args.out == "-":
+        return None
+    try:
+        return open(args.out, "w", encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit(f"cannot write --out: {exc}")
+
+
+def _emit_stream_summary(args, summary, out) -> int:
+    """Shared output path of ``repro stream`` and ``repro resume``."""
+    if out is not None:
+        try:
+            with out:
+                for record in summary.records:
+                    out.write(
+                        json.dumps({k: _jsonable(v) for k, v in record.summary().items()})
+                    )
+                    out.write("\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write --out: {exc}")
+    if getattr(args, "cover_out", None) and summary.final_cover is not None:
+        try:
+            np.savetxt(args.cover_out, np.nonzero(summary.final_cover)[0], fmt="%d")
+        except OSError as exc:
+            raise SystemExit(f"cannot write --cover-out: {exc}")
+        print(f"cover vertex ids written to {args.cover_out}", file=sys.stderr)
+
+    print(json.dumps({k: _jsonable(v) for k, v in summary.summary().items()}, indent=2))
+    print(
+        f"stream: {summary.num_updates} updates in {summary.num_batches} batches, "
+        f"{summary.num_resolves} re-solves ({summary.num_resolve_cache_hits} from cache), "
+        f"final ratio {summary.final_certified_ratio:.3f}, "
+        f"{summary.elapsed_s:.2f}s wall",
+        file=sys.stderr,
+    )
+    return 0 if summary.final_is_cover else 1
+
+
 def _cmd_stream(args) -> int:
-    from repro.dynamic import ResolvePolicy, load_update_stream, run_stream
+    from repro.dynamic import (
+        CheckpointConfig,
+        CheckpointError,
+        ResolvePolicy,
+        WALError,
+        load_update_stream,
+        run_stream,
+    )
     from repro.graphs.streams import make_update_stream
 
     graph = _load_or_generate(args)
@@ -293,50 +350,75 @@ def _cmd_stream(args) -> int:
             cache=args.cache_size,
             use_processes=bool(args.workers),
         )
+        checkpoint = None
+        if args.checkpoint_dir:
+            checkpoint = CheckpointConfig(
+                directory=args.checkpoint_dir,
+                snapshot_every=args.snapshot_every,
+                fsync=not args.no_fsync,
+            )
     except ValueError as exc:
         raise SystemExit(str(exc))
 
-    if args.out and args.out != "-":
+    out = _open_stream_out(args)
+    with solver:
         try:
-            out = open(args.out, "w", encoding="utf-8")
-        except OSError as exc:
-            raise SystemExit(f"cannot write --out: {exc}")
-    else:
-        out = None
+            summary = run_stream(
+                graph,
+                updates,
+                batch_size=args.batch_size,
+                policy=policy,
+                solver=solver,
+                eps=args.eps,
+                seed=args.seed,
+                engine=args.engine,
+                verify_every=args.verify_every,
+                checkpoint=checkpoint,
+            )
+        except (ValueError, RuntimeError, CheckpointError, WALError) as exc:
+            raise SystemExit(str(exc))
+    return _emit_stream_summary(args, summary, out)
+
+
+def _cmd_resume(args) -> int:
+    from repro.dynamic import (
+        CheckpointError,
+        WALError,
+        load_update_stream,
+        resume_stream,
+    )
+
+    updates = None
+    if args.updates:
+        try:
+            updates = load_update_stream(args.updates)
+        except FileNotFoundError:
+            raise SystemExit(f"update stream not found: {args.updates}")
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"bad update stream: {exc}")
 
     try:
-        with solver:
-            try:
-                summary = run_stream(
-                    graph,
-                    updates,
-                    batch_size=args.batch_size,
-                    policy=policy,
-                    solver=solver,
-                    eps=args.eps,
-                    seed=args.seed,
-                    engine=args.engine,
-                    verify_every=args.verify_every,
-                )
-            except (ValueError, RuntimeError) as exc:
-                raise SystemExit(str(exc))
-        if out is not None:
-            for record in summary.records:
-                out.write(json.dumps({k: _jsonable(v) for k, v in record.summary().items()}))
-                out.write("\n")
-    finally:
-        if out is not None:
-            out.close()
+        solver = BatchSolver(
+            max_workers=args.workers or None,
+            cache=args.cache_size,
+            use_processes=bool(args.workers),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
-    print(json.dumps({k: _jsonable(v) for k, v in summary.summary().items()}, indent=2))
+    out = _open_stream_out(args)
+    with solver:
+        try:
+            summary = resume_stream(
+                args.checkpoint_dir, updates=updates, solver=solver
+            )
+        except (ValueError, RuntimeError, CheckpointError, WALError) as exc:
+            raise SystemExit(str(exc))
     print(
-        f"stream: {summary.num_updates} updates in {summary.num_batches} batches, "
-        f"{summary.num_resolves} re-solves ({summary.num_resolve_cache_hits} from cache), "
-        f"final ratio {summary.final_certified_ratio:.3f}, "
-        f"{summary.elapsed_s:.2f}s wall",
+        f"resumed from batch {summary.resumed_from_batch}",
         file=sys.stderr,
     )
-    return 0 if summary.final_is_cover else 1
+    return _emit_stream_summary(args, summary, out)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -478,7 +560,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="write per-batch JSON-lines records here ('-'/omitted: skip)",
     )
+    stream.add_argument(
+        "--cover-out", default=None,
+        help="write the final cover vertex ids to this file",
+    )
+    stream.add_argument(
+        "--checkpoint-dir", default=None,
+        help="make the run durable: write-ahead-log every batch and "
+        "snapshot maintainer state into this directory (resume a killed "
+        "run with `repro resume`)",
+    )
+    stream.add_argument(
+        "--snapshot-every", type=int, default=8,
+        help="batches between snapshots (with --checkpoint-dir)",
+    )
+    stream.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsync on WAL/snapshot commits (faster; survives process "
+        "kills but not power loss)",
+    )
     stream.set_defaults(func=_cmd_stream)
+
+    resume = sub.add_parser(
+        "resume",
+        help="resume a checkpointed `repro stream` run after a crash: "
+        "restore the last snapshot, replay the WAL tail, finish the stream",
+    )
+    resume.add_argument(
+        "--checkpoint-dir", required=True,
+        help="checkpoint directory of the interrupted run",
+    )
+    resume.add_argument(
+        "--updates", default=None,
+        help="override the stored update stream (default: the checkpoint's "
+        "updates.jsonl)",
+    )
+    resume.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size for re-solves (0: solve in-process)",
+    )
+    resume.add_argument(
+        "--cache-size", type=int, default=256,
+        help="LRU result-cache capacity for warm-started re-solves",
+    )
+    resume.add_argument(
+        "--out", default=None,
+        help="write per-batch JSON-lines records here ('-'/omitted: skip)",
+    )
+    resume.add_argument(
+        "--cover-out", default=None,
+        help="write the final cover vertex ids to this file",
+    )
+    resume.set_defaults(func=_cmd_resume)
 
     return parser
 

@@ -19,13 +19,41 @@ certificate drifts past a policy bound:
     :class:`ResolvePolicy` — drift-bounded re-solve trigger.
 :mod:`repro.dynamic.stream`
     :func:`run_stream` — batches, policy evaluation, and warm-started
-    re-solves through the batch service (``repro stream``).
+    re-solves through the batch service (``repro stream``); plus
+    :class:`CheckpointConfig` and :func:`resume_stream` for durable,
+    crash-recoverable runs (``repro resume``).
+:mod:`repro.dynamic.checkpoint`
+    Versioned, digest-stamped snapshots of maintainer + graph state.
+:mod:`repro.dynamic.wal`
+    Append-only, checksummed write-ahead log of applied update batches.
 """
 
+from repro.dynamic.checkpoint import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointVersionError,
+    RestoredState,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.dynamic.dynamic_graph import DynamicGraph
 from repro.dynamic.maintainer import BatchReport, IncrementalCoverMaintainer
 from repro.dynamic.policy import ResolveDecision, ResolvePolicy
-from repro.dynamic.stream import StreamRecord, StreamSummary, run_stream
+from repro.dynamic.stream import (
+    CheckpointConfig,
+    StreamRecord,
+    StreamSummary,
+    resume_stream,
+    run_stream,
+)
+from repro.dynamic.wal import (
+    WALCorruptionError,
+    WALError,
+    WALRecord,
+    WriteAheadLog,
+    read_wal,
+    repair_wal,
+)
 from repro.dynamic.updates import (
     EdgeDelete,
     EdgeInsert,
@@ -39,6 +67,10 @@ from repro.dynamic.updates import (
 
 __all__ = [
     "BatchReport",
+    "CheckpointConfig",
+    "CheckpointCorruptionError",
+    "CheckpointError",
+    "CheckpointVersionError",
     "DynamicGraph",
     "EdgeDelete",
     "EdgeInsert",
@@ -46,11 +78,20 @@ __all__ = [
     "IncrementalCoverMaintainer",
     "ResolveDecision",
     "ResolvePolicy",
+    "RestoredState",
     "StreamRecord",
     "StreamSummary",
-    "WeightChange",
+    "WALCorruptionError",
+    "WALError",
+    "WALRecord",
+    "WriteAheadLog",
+    "load_snapshot",
     "load_update_stream",
+    "read_wal",
+    "repair_wal",
+    "resume_stream",
     "run_stream",
+    "save_snapshot",
     "save_update_stream",
     "update_from_json",
     "update_to_json",

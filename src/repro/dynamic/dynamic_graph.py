@@ -267,6 +267,17 @@ class DynamicGraph:
             self._materialized = WeightedGraph(self.n, u, v, self._weights.copy())
         return self._materialized
 
+    def content_digest(self) -> str:
+        """Stable digest of the *current* graph (snapshot-independent).
+
+        Two dynamic graphs that reached the same edge set and weights —
+        regardless of base snapshot, delta-log shape, or compaction
+        history — share one digest.  This is the identity stamped into
+        checkpoints and write-ahead-log records by
+        :mod:`repro.dynamic.checkpoint`.
+        """
+        return self.materialize().content_digest()
+
     def compact(self) -> WeightedGraph:
         """Fold the delta log into a fresh canonical snapshot and return it."""
         if self._materialized is not self._base:

@@ -85,23 +85,58 @@ class BatchReport:
     certificate: CoverCertificate
     drift: float
 
+    def to_dict(self) -> dict:
+        """Exact JSON-friendly form; inverse of :meth:`from_dict`.
+
+        The certificate is nested in full (its own ``to_dict``), so this is
+        the one schema shared by stream records and the write-ahead log.
+        """
+        return {
+            "num_updates": int(self.num_updates),
+            "applied": int(self.applied),
+            "inserts": int(self.inserts),
+            "deletes": int(self.deletes),
+            "reweights": int(self.reweights),
+            "repaired_edges": int(self.repaired_edges),
+            "added_to_cover": int(self.added_to_cover),
+            "pruned_from_cover": int(self.pruned_from_cover),
+            "retired_dual": float(self.retired_dual),
+            "certificate": self.certificate.to_dict(),
+            "drift": float(self.drift),
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "BatchReport":
+        """Rebuild a report from its :meth:`to_dict` form."""
+        if not isinstance(spec, dict):
+            raise ValueError(f"batch report must be a dict, got {type(spec).__name__}")
+        missing = {f for f in cls.__dataclass_fields__} - set(spec)
+        if missing:
+            raise ValueError(f"batch report missing keys {sorted(missing)}")
+        return cls(
+            num_updates=int(spec["num_updates"]),
+            applied=int(spec["applied"]),
+            inserts=int(spec["inserts"]),
+            deletes=int(spec["deletes"]),
+            reweights=int(spec["reweights"]),
+            repaired_edges=int(spec["repaired_edges"]),
+            added_to_cover=int(spec["added_to_cover"]),
+            pruned_from_cover=int(spec["pruned_from_cover"]),
+            retired_dual=float(spec["retired_dual"]),
+            certificate=CoverCertificate.from_dict(spec["certificate"]),
+            drift=float(spec["drift"]),
+        )
+
     def summary(self) -> dict:
         """Flat JSON-friendly dict (one row of ``repro stream`` output)."""
-        return {
-            "num_updates": self.num_updates,
-            "applied": self.applied,
-            "inserts": self.inserts,
-            "deletes": self.deletes,
-            "reweights": self.reweights,
-            "repaired_edges": self.repaired_edges,
-            "added_to_cover": self.added_to_cover,
-            "pruned_from_cover": self.pruned_from_cover,
-            "retired_dual": self.retired_dual,
-            "cover_weight": self.certificate.cover_weight,
-            "dual_value": self.certificate.dual_value,
-            "certified_ratio": self.certificate.certified_ratio,
-            "drift": self.drift,
-        }
+        row = self.to_dict()
+        cert = row.pop("certificate")
+        row["cover_weight"] = cert["cover_weight"]
+        row["dual_value"] = cert["dual_value"]
+        row["certified_ratio"] = cert["certified_ratio"]
+        # `drift` stays the last key, matching the historical row layout.
+        row["drift"] = row.pop("drift")
+        return row
 
 
 class IncrementalCoverMaintainer:
@@ -168,6 +203,71 @@ class IncrementalCoverMaintainer:
     def edge_duals(self) -> Dict[Tuple[int, int], float]:
         """Nonzero per-edge duals keyed by canonical endpoint pair (copy)."""
         return dict(self._x)
+
+    # ------------------------------------------------------------------ #
+    # snapshot/restore support
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict:
+        """The maintainer's full mutable state as plain arrays/scalars.
+
+        The exact float payload is exported — loads and the dual total are
+        *not* recomputed — so a maintainer restored via :meth:`from_state`
+        is bit-identical and every subsequent :meth:`apply_batch` evolves
+        it exactly as the original (the property
+        ``tests/recovery/test_equivalence.py`` checks).  Dual keys are
+        emitted in sorted order, making the export deterministic for a
+        given state (content digests of two exports of one state match).
+        """
+        keys = sorted(self._x)
+        return {
+            "cover": self._cover.copy(),
+            "loads": self._loads.copy(),
+            "dual_keys": np.asarray(keys, dtype=np.int64).reshape(len(keys), 2),
+            "dual_values": np.asarray([self._x[k] for k in keys], dtype=np.float64),
+            "dual_value": float(self._dual_value),
+            "base_ratio": self._base_ratio,
+            "batches_applied": int(self._batches),
+        }
+
+    @classmethod
+    def from_state(cls, dyn: DynamicGraph, state: dict) -> "IncrementalCoverMaintainer":
+        """Reconstruct a maintainer around ``dyn`` from :meth:`export_state`.
+
+        ``dyn`` must already hold the graph the state was exported against;
+        the state is validated structurally (shapes, dual keys are current
+        edges) so a mismatched graph/state pair fails loudly instead of
+        silently corrupting the certificate.
+        """
+        n = dyn.n
+        cover = np.asarray(state["cover"], dtype=bool)
+        loads = np.asarray(state["loads"], dtype=np.float64)
+        if cover.shape != (n,):
+            raise ValueError(f"cover mask has shape {cover.shape}, expected ({n},)")
+        if loads.shape != (n,):
+            raise ValueError(f"loads have shape {loads.shape}, expected ({n},)")
+        keys = np.asarray(state["dual_keys"], dtype=np.int64)
+        vals = np.asarray(state["dual_values"], dtype=np.float64)
+        if keys.ndim != 2 or keys.shape[1] != 2 or keys.shape[0] != vals.shape[0]:
+            raise ValueError(
+                f"dual arrays disagree: keys {keys.shape}, values {vals.shape}"
+            )
+        maintainer = cls.__new__(cls)
+        maintainer.dyn = dyn
+        maintainer._cover = cover.copy()
+        maintainer._loads = loads.copy()
+        maintainer._x = {}
+        for (u, v), val in zip(keys, vals):
+            u, v = int(u), int(v)
+            if not dyn.has_edge(u, v):
+                raise ValueError(
+                    f"dual on ({u}, {v}) which is not an edge of the restored graph"
+                )
+            maintainer._x[(u, v)] = float(val)
+        maintainer._dual_value = float(state["dual_value"])
+        base = state["base_ratio"]
+        maintainer._base_ratio = None if base is None else float(base)
+        maintainer._batches = int(state["batches_applied"])
+        return maintainer
 
     # ------------------------------------------------------------------ #
     # certification

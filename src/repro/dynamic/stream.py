@@ -14,23 +14,137 @@ stream) is answered from the result cache without touching the solver.
 Every batch yields a :class:`StreamRecord` (JSON-friendly), and the final
 state is verified exactly against the materialized graph before the
 summary is returned — ``run_stream`` never hands back an unverified cover.
+
+Durability (``repro stream --checkpoint-dir`` / ``repro resume``)
+-----------------------------------------------------------------
+With a :class:`CheckpointConfig`, ``run_stream`` makes the whole run
+crash-recoverable.  The checkpoint directory holds:
+
+* ``config.json`` — the run parameters (batch size, solve params, policy)
+  written once up front, so ``resume`` needs no flags re-specified;
+* ``graph.npz`` + ``updates.jsonl`` — the initial graph and the full
+  update stream (the replay sources);
+* ``wal.jsonl`` — the write-ahead log: every batch is committed (fsync'd,
+  checksummed) *before* it is applied (:mod:`repro.dynamic.wal`);
+* ``snapshot.npz`` — the latest maintainer snapshot, rewritten atomically
+  every ``snapshot_every`` batches (:mod:`repro.dynamic.checkpoint`).
+
+:func:`resume_stream` restores ``last snapshot + WAL tail replay`` and
+continues the run.  Because every component is deterministic — the
+maintainer's repair pass, the policy, and the seeded solver — a resumed
+run reproduces the uninterrupted run's cover mask and certificate exactly,
+whatever batch boundary the process died at (the property
+``tests/recovery`` enforces).
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
 
+import numpy as np
+
+from repro.dynamic.checkpoint import (
+    CheckpointError,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.dynamic.dynamic_graph import DynamicGraph
 from repro.dynamic.maintainer import BatchReport, IncrementalCoverMaintainer
 from repro.dynamic.policy import ResolvePolicy
+from repro.dynamic.wal import WriteAheadLog, read_wal, repair_wal
 from repro.graphs.graph import WeightedGraph
-from repro.graphs.updates import GraphUpdate
+from repro.graphs.io import load_npz, save_npz, write_bytes_atomic
+from repro.graphs.updates import (
+    GraphUpdate,
+    load_update_stream,
+    save_update_stream,
+)
 from repro.service.batch import BatchSolver
 from repro.service.schema import SolveRequest
 
-__all__ = ["StreamRecord", "StreamSummary", "run_stream"]
+__all__ = [
+    "CONFIG_FORMAT_VERSION",
+    "CheckpointConfig",
+    "StreamRecord",
+    "StreamSummary",
+    "resume_stream",
+    "run_stream",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Version gate of ``config.json`` in a checkpoint directory.
+CONFIG_FORMAT_VERSION = 1
+
+_CONFIG_FILE = "config.json"
+_GRAPH_FILE = "graph.npz"
+_UPDATES_FILE = "updates.jsonl"
+_WAL_FILE = "wal.jsonl"
+_SNAPSHOT_FILE = "snapshot.npz"
+_SNAPSHOT_FILE_GZ = "snapshot.npz.gz"
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Durability policy of a checkpointed :func:`run_stream`.
+
+    Attributes
+    ----------
+    directory:
+        Checkpoint directory (created if needed; must not already hold a
+        stream — resume one with :func:`resume_stream` instead).
+    snapshot_every:
+        Write a fresh snapshot every this many batches.  Smaller values
+        shorten recovery replay; larger values cost less I/O.  A snapshot
+        is always written right after the initial solve and at stream end.
+    fsync:
+        Flush WAL records and snapshots to disk at commit time.  Keep on
+        for crash-consistency against power loss; turning it off still
+        survives process kills (buffers are flushed per batch).
+    compress:
+        gzip-wrap snapshots (``snapshot.npz.gz``).
+    stamp_digests:
+        Stamp each WAL record with the pre-apply graph content digest so
+        replay verifies, record by record, that it rebuilds the exact
+        state the original run saw.  Costs one O(m) hash per batch.
+    """
+
+    directory: PathLike
+    snapshot_every: int = 8
+    fsync: bool = True
+    compress: bool = False
+    stamp_digests: bool = True
+
+    def __post_init__(self):
+        if self.snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
+
+    @property
+    def config_path(self) -> str:
+        return os.path.join(os.fspath(self.directory), _CONFIG_FILE)
+
+    @property
+    def graph_path(self) -> str:
+        return os.path.join(os.fspath(self.directory), _GRAPH_FILE)
+
+    @property
+    def updates_path(self) -> str:
+        return os.path.join(os.fspath(self.directory), _UPDATES_FILE)
+
+    @property
+    def wal_path(self) -> str:
+        return os.path.join(os.fspath(self.directory), _WAL_FILE)
+
+    @property
+    def snapshot_path(self) -> str:
+        name = _SNAPSHOT_FILE_GZ if self.compress else _SNAPSHOT_FILE
+        return os.path.join(os.fspath(self.directory), name)
 
 
 @dataclass(frozen=True)
@@ -63,7 +177,14 @@ class StreamRecord:
 
 @dataclass
 class StreamSummary:
-    """Aggregate outcome of :func:`run_stream`."""
+    """Aggregate outcome of :func:`run_stream` / :func:`resume_stream`.
+
+    ``num_updates``/``num_batches`` count the work performed by *this*
+    invocation — for a resumed run that is the WAL tail replay plus the
+    continuation, not the batches already folded into the restored
+    snapshot.  ``final_cover`` is the maintained cover mask itself
+    (excluded from ``summary()``; written by ``--cover-out``).
+    """
 
     num_updates: int
     num_batches: int
@@ -75,10 +196,12 @@ class StreamSummary:
     final_is_cover: bool
     elapsed_s: float
     records: List[StreamRecord] = field(repr=False, default_factory=list)
+    final_cover: Optional[np.ndarray] = field(repr=False, default=None)
+    resumed_from_batch: Optional[int] = None
 
     def summary(self) -> dict:
         """Scalar JSON-friendly summary (the ``repro stream`` footer)."""
-        return {
+        row = {
             "num_updates": self.num_updates,
             "num_batches": self.num_batches,
             "num_resolves": self.num_resolves,
@@ -89,6 +212,9 @@ class StreamSummary:
             "final_is_cover": self.final_is_cover,
             "elapsed_s": round(self.elapsed_s, 6),
         }
+        if self.resumed_from_batch is not None:
+            row["resumed_from_batch"] = self.resumed_from_batch
+        return row
 
 
 def _batches(updates: Sequence[GraphUpdate], size: int) -> Iterable[List[GraphUpdate]]:
@@ -96,23 +222,206 @@ def _batches(updates: Sequence[GraphUpdate], size: int) -> Iterable[List[GraphUp
         yield list(updates[i : i + size])
 
 
-def _resolve(
-    maintainer: IncrementalCoverMaintainer,
-    solver: BatchSolver,
+class _StreamEngine:
+    """Shared per-batch machinery of ``run_stream`` and ``resume_stream``.
+
+    Owns the mutable counters (stream position, cooldown, re-solve tally)
+    and performs one batch end-to-end: optional WAL commit *before* the
+    state mutation, repair, policy evaluation, triggered re-solve,
+    periodic verification, record keeping, and periodic snapshots.
+    """
+
+    def __init__(
+        self,
+        maintainer: IncrementalCoverMaintainer,
+        policy: ResolvePolicy,
+        solver: BatchSolver,
+        *,
+        eps: float,
+        seed: int,
+        engine: str,
+        verify_every: int,
+        checkpoint: Optional[CheckpointConfig] = None,
+        wal: Optional[WriteAheadLog] = None,
+    ):
+        self.maintainer = maintainer
+        self.policy = policy
+        self.solver = solver
+        self.eps = eps
+        self.seed = seed
+        self.engine = engine
+        self.verify_every = verify_every
+        self.checkpoint = checkpoint
+        self.wal = wal
+        self.records: List[StreamRecord] = []
+        self.num_resolves = 0
+        self.cache_hits = 0
+        self.batches_since = 0
+        self.updates_applied = 0
+
+    # -- state restored from a snapshot's extra counters ---------------- #
+    def restore_counters(self, extra: dict) -> None:
+        self.batches_since = int(extra.get("batches_since_resolve", 0))
+        self.updates_applied = int(extra.get("updates_applied", 0))
+
+    def counters(self, next_batch_index: int) -> dict:
+        return {
+            "next_batch_index": int(next_batch_index),
+            "updates_applied": int(self.updates_applied),
+            "batches_since_resolve": int(self.batches_since),
+            "num_resolves": int(self.num_resolves),
+            "num_resolve_cache_hits": int(self.cache_hits),
+        }
+
+    # -- the solve path -------------------------------------------------- #
+    def resolve(self) -> bool:
+        """Full re-solve through the service; returns cache-hit flag."""
+        graph = self.maintainer.dyn.compact()
+        request = SolveRequest(
+            graph=graph, eps=self.eps, seed=self.seed, engine=self.engine
+        )
+        result = self.solver.solve(request)
+        if not result.ok or result.result is None:
+            raise RuntimeError(f"re-solve failed: {result.error}")
+        self.maintainer.adopt(result.result, graph=graph)
+        self.num_resolves += 1
+        self.cache_hits += int(result.cache_hit)
+        return result.cache_hit
+
+    # -- durability ------------------------------------------------------ #
+    def write_snapshot(self, next_batch_index: int) -> None:
+        if self.checkpoint is None:
+            return
+        save_snapshot(
+            self.checkpoint.snapshot_path,
+            self.maintainer,
+            extra=self.counters(next_batch_index),
+            fsync=self.checkpoint.fsync,
+        )
+
+    # -- one batch ------------------------------------------------------- #
+    def process_batch(
+        self, index: int, batch: List[GraphUpdate], *, log_to_wal: bool
+    ) -> StreamRecord:
+        if log_to_wal and self.wal is not None:
+            digest = ""
+            if self.checkpoint is not None and self.checkpoint.stamp_digests:
+                digest = self.maintainer.dyn.content_digest()
+            self.wal.append(index, batch, state_digest=digest)
+        t0 = time.perf_counter()
+        report = self.maintainer.apply_batch(batch)
+        self.updates_applied += len(batch)
+        self.batches_since += 1
+        decision = self.policy.should_resolve(
+            certified_ratio=report.certificate.certified_ratio,
+            base_ratio=self.maintainer.base_ratio,
+            batches_since_resolve=self.batches_since,
+        )
+        hit = False
+        if decision:
+            hit = self.resolve()
+            self.batches_since = 0
+        if self.verify_every and (index + 1) % self.verify_every == 0:
+            if not self.maintainer.verify():  # pragma: no cover - invariant guard
+                raise RuntimeError(
+                    f"invalid cover after batch {index} — maintainer bug"
+                )
+        record = StreamRecord(
+            batch_index=index,
+            report=report,
+            resolved=bool(decision),
+            resolve_reason=decision.reason,
+            resolve_cache_hit=hit,
+            certified_ratio_after=self.maintainer.certified_ratio(),
+            elapsed_s=time.perf_counter() - t0,
+        )
+        self.records.append(record)
+        if (
+            self.checkpoint is not None
+            and (index + 1) % self.checkpoint.snapshot_every == 0
+        ):
+            self.write_snapshot(index + 1)
+        return record
+
+    # -- the summary ----------------------------------------------------- #
+    def summarize(
+        self,
+        *,
+        num_updates: int,
+        elapsed_s: float,
+        resumed_from_batch: Optional[int] = None,
+    ) -> StreamSummary:
+        cert = self.maintainer.certificate()
+        return StreamSummary(
+            num_updates=num_updates,
+            num_batches=len(self.records),
+            num_resolves=self.num_resolves,
+            num_resolve_cache_hits=self.cache_hits,
+            final_cover_weight=cert.cover_weight,
+            final_dual_value=cert.dual_value,
+            final_certified_ratio=cert.certified_ratio,
+            final_is_cover=self.maintainer.verify(),
+            elapsed_s=elapsed_s,
+            records=self.records,
+            final_cover=self.maintainer.cover,
+            resumed_from_batch=resumed_from_batch,
+        )
+
+
+def _write_config(
+    checkpoint: CheckpointConfig,
+    graph: WeightedGraph,
+    updates: Sequence[GraphUpdate],
     *,
+    batch_size: int,
+    policy: ResolvePolicy,
     eps: float,
     seed: int,
     engine: str,
-) -> bool:
-    """Full re-solve of the current graph through the service; returns
-    whether the answer came from the result cache."""
-    graph = maintainer.dyn.compact()
-    request = SolveRequest(graph=graph, eps=eps, seed=seed, engine=engine)
-    result = solver.solve(request)
-    if not result.ok or result.result is None:
-        raise RuntimeError(f"re-solve failed: {result.error}")
-    maintainer.adopt(result.result, graph=graph)
-    return result.cache_hit
+    verify_every: int,
+    compact_fraction: float,
+) -> None:
+    config = {
+        "format_version": CONFIG_FORMAT_VERSION,
+        "batch_size": int(batch_size),
+        "eps": float(eps),
+        "seed": int(seed),
+        "engine": str(engine),
+        "verify_every": int(verify_every),
+        "compact_fraction": float(compact_fraction),
+        "policy": asdict(policy),
+        "snapshot_every": int(checkpoint.snapshot_every),
+        "fsync": bool(checkpoint.fsync),
+        "stamp_digests": bool(checkpoint.stamp_digests),
+        "compress": bool(checkpoint.compress),
+        "num_updates": len(updates),
+        "graph_digest": graph.content_digest(),
+        "snapshot_file": os.path.basename(checkpoint.snapshot_path),
+    }
+    write_bytes_atomic(
+        checkpoint.config_path,
+        (json.dumps(config, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+        fsync=checkpoint.fsync,
+    )
+
+
+def _prepare_checkpoint_dir(
+    checkpoint: CheckpointConfig,
+    graph: WeightedGraph,
+    updates: Sequence[GraphUpdate],
+    **config_params,
+) -> None:
+    directory = os.fspath(checkpoint.directory)
+    os.makedirs(directory, exist_ok=True)
+    if os.path.exists(checkpoint.config_path):
+        raise CheckpointError(
+            f"checkpoint directory {directory} already holds a stream "
+            f"(found {_CONFIG_FILE}); resume it with `repro resume` or "
+            f"point --checkpoint-dir at a fresh directory"
+        )
+    save_npz(graph, checkpoint.graph_path)
+    save_update_stream(updates, checkpoint.updates_path)
+    _write_config(checkpoint, graph, updates, **config_params)
 
 
 def run_stream(
@@ -127,6 +436,7 @@ def run_stream(
     engine: str = "vectorized",
     verify_every: int = 0,
     compact_fraction: float = 0.25,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> StreamSummary:
     """Maintain a certified cover over ``graph`` while replaying ``updates``.
 
@@ -154,16 +464,36 @@ def run_stream(
     compact_fraction:
         Delta-log compaction threshold of the underlying
         :class:`DynamicGraph`.
+    checkpoint:
+        When given, make the run durable: write-ahead-log every batch and
+        snapshot periodically into ``checkpoint.directory`` so a killed
+        process can be picked up by :func:`resume_stream` at the exact
+        state it died in.
 
     Raises
     ------
     RuntimeError
         If a re-solve fails, or a verification pass catches an invalid
         cover (which would be a maintainer bug, not a data error).
+    CheckpointError
+        If the checkpoint directory already holds a stream.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     policy = policy or ResolvePolicy()
+    if checkpoint is not None:
+        _prepare_checkpoint_dir(
+            checkpoint,
+            graph,
+            updates,
+            batch_size=batch_size,
+            policy=policy,
+            eps=eps,
+            seed=seed,
+            engine=engine,
+            verify_every=verify_every,
+            compact_fraction=compact_fraction,
+        )
     own_solver = solver is None
     if own_solver:
         solver = BatchSolver(use_processes=False)
@@ -171,60 +501,236 @@ def run_stream(
     start = time.perf_counter()
     dyn = DynamicGraph(graph, compact_fraction=compact_fraction)
     maintainer = IncrementalCoverMaintainer(dyn)
-    records: List[StreamRecord] = []
-    num_resolves = 0
-    cache_hits = 0
-    batches_since = 0
+    wal = (
+        WriteAheadLog(checkpoint.wal_path, fsync=checkpoint.fsync)
+        if checkpoint is not None
+        else None
+    )
+    engine_ = _StreamEngine(
+        maintainer,
+        policy,
+        solver,
+        eps=eps,
+        seed=seed,
+        engine=engine,
+        verify_every=verify_every,
+        checkpoint=checkpoint,
+        wal=wal,
+    )
     try:
         if graph.m:
-            hit = _resolve(maintainer, solver, eps=eps, seed=seed, engine=engine)
-            num_resolves += 1
-            cache_hits += int(hit)
+            engine_.resolve()
+        engine_.write_snapshot(0)
         for index, batch in enumerate(_batches(updates, batch_size)):
-            t0 = time.perf_counter()
-            report = maintainer.apply_batch(batch)
-            batches_since += 1
-            decision = policy.should_resolve(
-                certified_ratio=report.certificate.certified_ratio,
-                base_ratio=maintainer.base_ratio,
-                batches_since_resolve=batches_since,
-            )
-            hit = False
-            if decision:
-                hit = _resolve(maintainer, solver, eps=eps, seed=seed, engine=engine)
-                num_resolves += 1
-                cache_hits += int(hit)
-                batches_since = 0
-            if verify_every and (index + 1) % verify_every == 0:
-                if not maintainer.verify():  # pragma: no cover - invariant guard
-                    raise RuntimeError(
-                        f"invalid cover after batch {index} — maintainer bug"
-                    )
-            records.append(
-                StreamRecord(
-                    batch_index=index,
-                    report=report,
-                    resolved=bool(decision),
-                    resolve_reason=decision.reason,
-                    resolve_cache_hit=hit,
-                    certified_ratio_after=maintainer.certified_ratio(),
-                    elapsed_s=time.perf_counter() - t0,
-                )
-            )
+            engine_.process_batch(index, batch, log_to_wal=True)
+        engine_.write_snapshot(len(engine_.records))
     finally:
+        if wal is not None:
+            wal.close()
         if own_solver:
             solver.close()
 
-    cert = maintainer.certificate()
-    return StreamSummary(
-        num_updates=len(updates),
-        num_batches=len(records),
-        num_resolves=num_resolves,
-        num_resolve_cache_hits=cache_hits,
-        final_cover_weight=cert.cover_weight,
-        final_dual_value=cert.dual_value,
-        final_certified_ratio=cert.certified_ratio,
-        final_is_cover=maintainer.verify(),
+    return engine_.summarize(
+        num_updates=len(updates), elapsed_s=time.perf_counter() - start
+    )
+
+
+def _load_config(checkpoint: CheckpointConfig) -> dict:
+    try:
+        with open(checkpoint.config_path, "r", encoding="utf-8") as fh:
+            config = json.load(fh)
+    except FileNotFoundError:
+        raise CheckpointError(
+            f"no stream checkpoint in {os.fspath(checkpoint.directory)} "
+            f"(missing {_CONFIG_FILE})"
+        ) from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"cannot read {checkpoint.config_path}: {exc}") from exc
+    version = config.get("format_version")
+    if version != CONFIG_FORMAT_VERSION:
+        raise CheckpointError(
+            f"{checkpoint.config_path}: config format version {version!r} is "
+            f"not supported (this build reads version {CONFIG_FORMAT_VERSION})"
+        )
+    return config
+
+
+def resume_stream(
+    directory: PathLike,
+    *,
+    updates: Optional[Sequence[GraphUpdate]] = None,
+    solver: Optional[BatchSolver] = None,
+) -> StreamSummary:
+    """Resume a checkpointed stream after a crash (or completion).
+
+    Recovery procedure:
+
+    1. read ``config.json`` (run parameters travel with the checkpoint —
+       no flags to re-specify);
+    2. repair a torn WAL tail (a record cut mid-write was never
+       committed), then read the committed records;
+    3. restore the latest snapshot — or, when the snapshot file is
+       *missing*, cold-start from ``graph.npz`` and replay the WAL from
+       batch 0 (a corrupt snapshot raises instead: a damaged checkpoint
+       must never silently restore);
+    4. replay the WAL records past the snapshot through the exact
+       per-batch machinery of :func:`run_stream` (each record's pre-apply
+       digest is verified when stamped);
+    5. continue with the remaining updates from the stored stream,
+       write-ahead-logging and snapshotting as usual.
+
+    Determinism makes the result *exact*: the resumed run's final cover
+    mask and certificate equal the uninterrupted run's.
+
+    Parameters
+    ----------
+    directory:
+        The checkpoint directory of the interrupted run.
+    updates:
+        Override the stored update stream (defaults to the directory's
+        ``updates.jsonl``).
+    solver:
+        Batch service for re-solves; a private in-process solver is
+        created (and closed) when omitted.
+
+    Raises
+    ------
+    CheckpointError
+        Missing/invalid checkpoint pieces (no config, corrupt snapshot or
+        WAL, a WAL gap the snapshot cannot bridge, or a stream/WAL state
+        mismatch).
+    """
+    checkpoint = CheckpointConfig(directory=directory)
+    config = _load_config(checkpoint)
+    checkpoint = CheckpointConfig(
+        directory=directory,
+        snapshot_every=int(config["snapshot_every"]),
+        fsync=bool(config.get("fsync", True)),
+        compress=bool(config.get("compress", False)),
+        stamp_digests=bool(config.get("stamp_digests", True)),
+    )
+    policy = ResolvePolicy(**config["policy"])
+    batch_size = int(config["batch_size"])
+
+    if updates is None:
+        try:
+            updates = load_update_stream(checkpoint.updates_path)
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"checkpoint {os.fspath(directory)} has no stored update "
+                f"stream ({_UPDATES_FILE}); pass the stream explicitly"
+            ) from None
+    if len(updates) != int(config["num_updates"]):
+        raise CheckpointError(
+            f"update stream length {len(updates)} does not match the "
+            f"checkpointed run's {config['num_updates']}"
+        )
+
+    repair_wal(checkpoint.wal_path)
+    wal_records, _ = read_wal(checkpoint.wal_path)
+
+    own_solver = solver is None
+    if own_solver:
+        solver = BatchSolver(use_processes=False)
+    start = time.perf_counter()
+    wal = None
+    try:
+        if os.path.exists(checkpoint.snapshot_path):
+            restored = load_snapshot(checkpoint.snapshot_path)
+            maintainer = restored.maintainer
+            restored.dyn.compact_fraction = float(config["compact_fraction"])
+            extra = restored.meta.get("extra", {})
+            next_index = int(extra.get("next_batch_index", 0))
+            cold_start = False
+        else:
+            # No snapshot survived — rebuild from the initial graph and
+            # replay the WAL from the beginning.
+            try:
+                graph = load_npz(checkpoint.graph_path)
+            except FileNotFoundError:
+                raise CheckpointError(
+                    f"checkpoint {os.fspath(directory)} has neither a "
+                    f"snapshot nor the initial graph ({_GRAPH_FILE}); "
+                    f"nothing to restore"
+                ) from None
+            except Exception as exc:  # a damaged npz surfaces many shapes
+                raise CheckpointError(
+                    f"{checkpoint.graph_path} is unreadable ({exc}); the "
+                    f"checkpoint cannot cold-start without it"
+                ) from exc
+            if graph.content_digest() != config.get("graph_digest"):
+                raise CheckpointError(
+                    f"{checkpoint.graph_path} does not match the "
+                    f"checkpointed run's graph digest"
+                )
+            dyn = DynamicGraph(
+                graph, compact_fraction=float(config["compact_fraction"])
+            )
+            maintainer = IncrementalCoverMaintainer(dyn)
+            extra = {}
+            next_index = 0
+            cold_start = True
+
+        engine_ = _StreamEngine(
+            maintainer,
+            policy,
+            solver,
+            eps=float(config["eps"]),
+            seed=int(config["seed"]),
+            engine=str(config["engine"]),
+            verify_every=int(config["verify_every"]),
+            checkpoint=checkpoint,
+            wal=None,  # replay first; the WAL reopens for the continuation
+        )
+        engine_.restore_counters(extra)
+        resumed_from = next_index
+        updates_at_restore = engine_.updates_applied
+        if cold_start and maintainer.dyn.m:
+            engine_.resolve()
+
+        # ---- replay the committed WAL tail ---------------------------- #
+        tail = [r for r in wal_records if r.batch_index >= next_index]
+        expected = next_index
+        for record in tail:
+            if record.batch_index != expected:
+                raise CheckpointError(
+                    f"WAL gap: expected batch {expected}, found "
+                    f"{record.batch_index} — the snapshot cannot bridge it"
+                )
+            if record.state_digest:
+                current = maintainer.dyn.content_digest()
+                if current != record.state_digest:
+                    raise CheckpointError(
+                        f"WAL batch {record.batch_index} was logged against "
+                        f"graph state {record.state_digest[:12]}… but replay "
+                        f"reached {current[:12]}… — snapshot/WAL/stream "
+                        f"mismatch"
+                    )
+            engine_.process_batch(expected, list(record.updates), log_to_wal=False)
+            expected += 1
+        if engine_.updates_applied > len(updates):
+            raise CheckpointError(
+                f"WAL replay consumed {engine_.updates_applied} updates but "
+                f"the stream holds only {len(updates)}"
+            )
+
+        # ---- continue with the uncommitted remainder ------------------ #
+        wal = WriteAheadLog(checkpoint.wal_path, fsync=checkpoint.fsync)
+        engine_.wal = wal
+        remainder = updates[engine_.updates_applied :]
+        next_index = expected
+        for offset, batch in enumerate(_batches(remainder, batch_size)):
+            engine_.process_batch(expected + offset, batch, log_to_wal=True)
+            next_index = expected + offset + 1
+        engine_.write_snapshot(next_index)
+    finally:
+        if wal is not None:
+            wal.close()
+        if own_solver:
+            solver.close()
+
+    return engine_.summarize(
+        num_updates=engine_.updates_applied - updates_at_restore,
         elapsed_s=time.perf_counter() - start,
-        records=records,
+        resumed_from_batch=resumed_from,
     )

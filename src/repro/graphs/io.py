@@ -15,14 +15,23 @@ Two formats:
 from __future__ import annotations
 
 import gzip
+import io
 import os
+import tempfile
 from typing import IO, Union
 
 import numpy as np
 
 from repro.graphs.graph import WeightedGraph
 
-__all__ = ["save_npz", "load_npz", "save_edgelist", "load_edgelist"]
+__all__ = [
+    "save_npz",
+    "load_npz",
+    "save_edgelist",
+    "load_edgelist",
+    "fsync_directory",
+    "write_bytes_atomic",
+]
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -40,16 +49,72 @@ def _open_text(path: PathLike, mode: str) -> IO[str]:
     return open(path, mode, encoding="ascii")
 
 
+def fsync_directory(directory: PathLike) -> None:
+    """fsync a directory so freshly renamed/created entries survive power loss.
+
+    POSIX durability of a rename (or of a new file's existence) requires
+    flushing the *directory*, not just the file data.  Best-effort: some
+    filesystems refuse to open directories, which is reported by silently
+    skipping (the data fsync still happened).
+    """
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_bytes_atomic(path: PathLike, data: bytes, *, fsync: bool = True) -> None:
+    """Write ``data`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    Readers never observe a half-written file: either the old content (or
+    absence) survives, or the complete new content does.  With ``fsync``
+    the payload is flushed before the rename and the parent directory is
+    flushed after it, so the replacement also survives power loss — the
+    write discipline every durable artifact in
+    :mod:`repro.dynamic.checkpoint` relies on.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=os.path.basename(path) + ".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        if fsync:
+            fsync_directory(directory)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def save_npz(graph: WeightedGraph, path: PathLike) -> None:
-    """Write ``graph`` to ``path`` in compressed NPZ form."""
+    """Write ``graph`` to ``path`` in compressed NPZ form.
+
+    The file appears atomically: a crash mid-save leaves either the old
+    file or none, never a truncated archive.
+    """
+    buf = io.BytesIO()
     np.savez_compressed(
-        path,
+        buf,
         version=np.int64(_FORMAT_VERSION),
         n=np.int64(graph.n),
         edges_u=graph.edges_u,
         edges_v=graph.edges_v,
         weights=graph.weights,
     )
+    write_bytes_atomic(path, buf.getvalue(), fsync=False)
 
 
 def load_npz(path: PathLike) -> WeightedGraph:

@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.baselines.exact import exact_mwvc
-from repro.core.certificates import certify_cover, fractional_matching_violation
+from repro.core.certificates import (
+    CoverCertificate,
+    certify_cover,
+    fractional_matching_violation,
+)
 from repro.graphs.generators import gnp_average_degree
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.weights import uniform_weights
@@ -83,3 +87,34 @@ class TestCertifyCover:
             "opt_lower_bound",
             "certified_ratio",
         }
+
+
+class TestCertificateWireFormat:
+    """`to_dict`/`from_dict` — the schema shared with the WAL records."""
+
+    def test_round_trip(self, triangle):
+        cert = certify_cover(triangle, np.ones(3, bool), np.full(3, 0.5))
+        assert CoverCertificate.from_dict(cert.to_dict()) == cert
+
+    def test_round_trip_through_json(self, triangle):
+        import json
+
+        cert = certify_cover(triangle, np.ones(3, bool), np.zeros(3))
+        assert cert.certified_ratio == float("inf")  # survives JSON
+        wire = json.loads(json.dumps(cert.to_dict()))
+        assert CoverCertificate.from_dict(wire) == cert
+
+    def test_summary_is_the_wire_format(self, triangle):
+        cert = certify_cover(triangle, np.ones(3, bool), np.full(3, 0.5))
+        assert cert.summary() == cert.to_dict()
+
+    def test_missing_key_rejected(self, triangle):
+        cert = certify_cover(triangle, np.ones(3, bool), np.full(3, 0.5))
+        wire = cert.to_dict()
+        wire.pop("load_factor")
+        with pytest.raises(ValueError, match="load_factor"):
+            CoverCertificate.from_dict(wire)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="dict"):
+            CoverCertificate.from_dict([1, 2, 3])

@@ -249,3 +249,49 @@ class TestReviewRegressions:
         assert dyn.compactions >= 1
         assert dyn.delta_size <= 17
         assert m.verify()
+
+
+class TestBatchReportWireFormat:
+    """`to_dict`/`from_dict` — one schema for stream records and the WAL."""
+
+    def _report(self):
+        g = gnp_average_degree(60, 5.0, seed=51)
+        g = g.with_weights(uniform_weights(60, 1.0, 10.0, seed=52))
+        m = _solved_maintainer(g)
+        return m.apply_batch(
+            [EdgeInsert(0, 1), EdgeDelete(1, 2), WeightChange(3, 2.0)]
+        )
+
+    def test_round_trip(self):
+        from repro.dynamic import BatchReport
+
+        report = self._report()
+        again = BatchReport.from_dict(report.to_dict())
+        assert again == report
+
+    def test_round_trip_through_json(self):
+        import json
+
+        from repro.dynamic import BatchReport
+
+        report = self._report()
+        wire = json.loads(json.dumps(report.to_dict()))
+        assert BatchReport.from_dict(wire) == report
+
+    def test_summary_flattens_the_wire_format(self):
+        report = self._report()
+        row = report.summary()
+        wire = report.to_dict()
+        assert "certificate" not in row
+        assert row["cover_weight"] == wire["certificate"]["cover_weight"]
+        assert row["dual_value"] == wire["certificate"]["dual_value"]
+        assert row["certified_ratio"] == wire["certificate"]["certified_ratio"]
+        assert list(row)[-1] == "drift"
+
+    def test_missing_key_rejected(self):
+        from repro.dynamic import BatchReport
+
+        wire = self._report().to_dict()
+        wire.pop("certificate")
+        with pytest.raises(ValueError, match="certificate"):
+            BatchReport.from_dict(wire)

@@ -139,3 +139,43 @@ class TestChunkedLoading:
             fh.write("\n".join(lines[:-1]) + "\n")
         with pytest.raises(ValueError, match="edge line"):
             load_edgelist(path)
+
+
+class TestAtomicWrites:
+    def test_write_bytes_atomic_creates_and_replaces(self, tmp_path):
+        from repro.graphs.io import write_bytes_atomic
+
+        path = tmp_path / "blob.bin"
+        write_bytes_atomic(path, b"first")
+        assert path.read_bytes() == b"first"
+        write_bytes_atomic(path, b"second", fsync=False)
+        assert path.read_bytes() == b"second"
+        # No temp litter either way.
+        assert [p.name for p in tmp_path.iterdir()] == ["blob.bin"]
+
+    def test_failed_write_preserves_existing_file(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.graphs import io as gio
+
+        path = tmp_path / "blob.bin"
+        gio.write_bytes_atomic(path, b"keep me")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk went away")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk went away"):
+            gio.write_bytes_atomic(path, b"never lands")
+        monkeypatch.undo()
+        assert path.read_bytes() == b"keep me"
+        assert [p.name for p in tmp_path.iterdir()] == ["blob.bin"]
+
+    def test_save_npz_is_atomic_against_existing(self, sample, tmp_path):
+        # Overwriting with the same graph must go through the tmp+rename
+        # path and leave a loadable file.
+        path = tmp_path / "g.npz"
+        save_npz(sample, path)
+        save_npz(sample, path)
+        assert load_npz(path) == sample
+        assert [p.name for p in tmp_path.iterdir()] == ["g.npz"]
