@@ -1,18 +1,21 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
-    python -m repro solve      # run a cover algorithm on a file or a
-                               # generated workload, print the summary
-    python -m repro generate   # write a workload to .npz / edge list
-    python -m repro experiment # run experiment runners E1..E11, print tables
-    python -m repro batch      # solve a JSON-lines manifest of instances
-                               # through the pooled/cached batch service
-    python -m repro stream     # maintain a certified cover over a
-                               # JSON-lines update stream (or generated churn)
-    python -m repro resume     # pick up a killed `repro stream
-                               # --checkpoint-dir` run: restore the last
-                               # snapshot, replay the WAL tail, finish
+    python -m repro solve       # run a cover algorithm on a file or a
+                                # generated workload, print the summary
+    python -m repro generate    # write a workload to .npz / edge list
+    python -m repro experiment  # run experiment runners E1..E11, print tables
+    python -m repro batch       # solve a JSON-lines manifest of instances
+                                # through the pooled/cached batch service
+    python -m repro stream      # maintain a certified cover over a
+                                # JSON-lines update stream (or generated
+                                # churn), optionally sharded (--shards N)
+    python -m repro resume      # pick up a killed `repro stream
+                                # --checkpoint-dir` run: restore the last
+                                # snapshot, replay the WAL tail, finish
+    python -m repro wal-compact # drop WAL records already covered by the
+                                # retained snapshots of a checkpoint dir
 
 Examples
 --------
@@ -315,6 +318,8 @@ def _cmd_stream(args) -> int:
         ResolvePolicy,
         WALError,
         load_update_stream,
+        open_update_source,
+        run_sharded_stream,
         run_stream,
     )
     from repro.graphs.streams import make_update_stream
@@ -325,7 +330,8 @@ def _cmd_stream(args) -> int:
             if args.updates == "-":
                 updates = load_update_stream(sys.stdin)
             else:
-                updates = load_update_stream(args.updates)
+                # Accepts a JSON-lines file or a directory of segments.
+                updates = open_update_source(args.updates).collect()
         except FileNotFoundError:
             raise SystemExit(f"update stream not found: {args.updates}")
         except (OSError, ValueError) as exc:
@@ -356,46 +362,85 @@ def _cmd_stream(args) -> int:
                 directory=args.checkpoint_dir,
                 snapshot_every=args.snapshot_every,
                 fsync=not args.no_fsync,
+                keep_snapshots=args.keep_snapshots,
+                compact_wal=args.compact_wal,
             )
+        if args.shards < 1:
+            raise ValueError(f"--shards must be >= 1, got {args.shards}")
     except ValueError as exc:
         raise SystemExit(str(exc))
 
     out = _open_stream_out(args)
     with solver:
         try:
-            summary = run_stream(
-                graph,
-                updates,
-                batch_size=args.batch_size,
-                policy=policy,
-                solver=solver,
-                eps=args.eps,
-                seed=args.seed,
-                engine=args.engine,
-                verify_every=args.verify_every,
-                checkpoint=checkpoint,
-            )
+            if args.shards > 1:
+                summary = run_sharded_stream(
+                    graph,
+                    updates,
+                    num_shards=args.shards,
+                    partition=args.partition,
+                    batch_size=args.batch_size,
+                    policy=policy,
+                    solver=solver,
+                    eps=args.eps,
+                    seed=args.seed,
+                    engine=args.engine,
+                    verify_every=args.verify_every,
+                    checkpoint=checkpoint,
+                    use_processes=not args.inline_shards,
+                )
+            else:
+                summary = run_stream(
+                    graph,
+                    updates,
+                    batch_size=args.batch_size,
+                    policy=policy,
+                    solver=solver,
+                    eps=args.eps,
+                    seed=args.seed,
+                    engine=args.engine,
+                    verify_every=args.verify_every,
+                    checkpoint=checkpoint,
+                )
         except (ValueError, RuntimeError, CheckpointError, WALError) as exc:
             raise SystemExit(str(exc))
     return _emit_stream_summary(args, summary, out)
+
+
+def _read_stream_config(checkpoint_dir) -> dict:
+    from repro.dynamic import CheckpointConfig, CheckpointError
+    from repro.dynamic.stream import _load_config
+
+    try:
+        return _load_config(CheckpointConfig(directory=checkpoint_dir))
+    except CheckpointError as exc:
+        raise SystemExit(str(exc))
 
 
 def _cmd_resume(args) -> int:
     from repro.dynamic import (
         CheckpointError,
         WALError,
-        load_update_stream,
+        open_update_source,
+        resume_sharded_stream,
         resume_stream,
     )
 
     updates = None
     if args.updates:
         try:
-            updates = load_update_stream(args.updates)
+            updates = open_update_source(args.updates).collect()
         except FileNotFoundError:
             raise SystemExit(f"update stream not found: {args.updates}")
         except (OSError, ValueError) as exc:
             raise SystemExit(f"bad update stream: {exc}")
+
+    # The checkpoint config knows which engine wrote it; dispatch to the
+    # matching resume so callers never have to re-specify the layout.
+    # (A `shards` key marks the sharded engine even with one shard — its
+    # snapshots and WAL stamps use the sharded formats.)
+    config = _read_stream_config(args.checkpoint_dir)
+    sharded = "shards" in config
 
     try:
         solver = BatchSolver(
@@ -409,9 +454,17 @@ def _cmd_resume(args) -> int:
     out = _open_stream_out(args)
     with solver:
         try:
-            summary = resume_stream(
-                args.checkpoint_dir, updates=updates, solver=solver
-            )
+            if sharded:
+                summary = resume_sharded_stream(
+                    args.checkpoint_dir,
+                    updates=updates,
+                    solver=solver,
+                    use_processes=not args.inline_shards,
+                )
+            else:
+                summary = resume_stream(
+                    args.checkpoint_dir, updates=updates, solver=solver
+                )
         except (ValueError, RuntimeError, CheckpointError, WALError) as exc:
             raise SystemExit(str(exc))
     print(
@@ -419,6 +472,55 @@ def _cmd_resume(args) -> int:
         file=sys.stderr,
     )
     return _emit_stream_summary(args, summary, out)
+
+
+def _cmd_wal_compact(args) -> int:
+    from repro.dynamic import (
+        CheckpointConfig,
+        CheckpointError,
+        WALError,
+        compact_wal,
+    )
+    from repro.dynamic.checkpoint import snapshot_meta
+    from repro.dynamic.shard_checkpoint import list_sharded_snapshots
+
+    config = _read_stream_config(args.checkpoint_dir)
+    checkpoint = CheckpointConfig(
+        directory=args.checkpoint_dir,
+        keep_snapshots=int(config.get("keep_snapshots", 1)),
+        compress=bool(config.get("compress", False)),
+    )
+    keep = checkpoint.keep_snapshots
+    try:
+        # Same engine marker as _cmd_resume: a `shards` key means the
+        # sharded snapshot format, whatever the shard count.
+        if "shards" in config:
+            generations = list_sharded_snapshots(args.checkpoint_dir)
+            retained = [idx for idx, _ in generations[:keep]]
+        else:
+            retained = []
+            for idx, path in checkpoint.list_snapshots()[:keep]:
+                if idx < 0:  # legacy single snapshot: position is in meta
+                    idx = int(
+                        snapshot_meta(path).get("extra", {}).get(
+                            "next_batch_index", 0
+                        )
+                    )
+                retained.append(idx)
+        if not retained:
+            raise SystemExit(
+                f"no snapshot in {args.checkpoint_dir}; the whole WAL is "
+                f"still needed for recovery — nothing to compact"
+            )
+        floor = min(retained)
+        removed = compact_wal(checkpoint.wal_path, floor)
+    except (CheckpointError, WALError) as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"wal-compact: dropped {removed} record(s) below batch {floor} "
+        f"({len(retained)} snapshot(s) retained)"
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -507,8 +609,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(stream)
     stream.add_argument(
         "--updates",
-        help="JSON-lines update stream ('-' for stdin, '.gz' ok); "
-        "omit to generate churn via --churn",
+        help="JSON-lines update stream ('-' for stdin, '.gz' ok) or a "
+        "directory of segment files; omit to generate churn via --churn",
     )
     stream.add_argument(
         "--churn", default="uniform", choices=list(CHURN_MODELS),
@@ -548,6 +650,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify-every", type=int, default=0,
         help="exactly re-verify the cover every k batches (0: final only)",
     )
+    from repro.mpc.partition import PARTITION_SCHEMES
+
+    stream.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the vertex space across this many shard workers "
+        "(1: the single-threaded engine; N > 1: the sharded pipeline, "
+        "bit-identical covers)",
+    )
+    stream.add_argument(
+        "--partition", default="hash", choices=list(PARTITION_SCHEMES),
+        help="vertex partition scheme for --shards > 1",
+    )
+    stream.add_argument(
+        "--inline-shards", action="store_true",
+        help="run shard workers in-process instead of one process per "
+        "shard (deterministic either way; inline avoids pool overhead "
+        "on small streams / single-core boxes)",
+    )
     stream.add_argument(
         "--workers", type=int, default=0,
         help="process-pool size for re-solves (0: solve in-process)",
@@ -578,6 +698,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fsync", action="store_true",
         help="skip fsync on WAL/snapshot commits (faster; survives process "
         "kills but not power loss)",
+    )
+    stream.add_argument(
+        "--keep-snapshots", type=int, default=1,
+        help="retain the last k snapshots instead of one (resume falls "
+        "back to an older snapshot when the newest is corrupt)",
+    )
+    stream.add_argument(
+        "--compact-wal", action="store_true",
+        help="after each snapshot, drop WAL records older than the oldest "
+        "retained snapshot so unbounded streams keep a bounded log",
     )
     stream.set_defaults(func=_cmd_stream)
 
@@ -611,7 +741,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--cover-out", default=None,
         help="write the final cover vertex ids to this file",
     )
+    resume.add_argument(
+        "--inline-shards", action="store_true",
+        help="for sharded checkpoints: run shard workers in-process",
+    )
     resume.set_defaults(func=_cmd_resume)
+
+    wal_compact = sub.add_parser(
+        "wal-compact",
+        help="truncate WAL records already covered by the retained "
+        "snapshots of a checkpoint directory (offline maintenance; "
+        "`repro stream --compact-wal` does this automatically)",
+    )
+    wal_compact.add_argument(
+        "--checkpoint-dir", required=True,
+        help="checkpoint directory whose wal.jsonl to compact",
+    )
+    wal_compact.set_defaults(func=_cmd_wal_compact)
 
     return parser
 

@@ -26,6 +26,19 @@ certificate drifts past a policy bound:
     Versioned, digest-stamped snapshots of maintainer + graph state.
 :mod:`repro.dynamic.wal`
     Append-only, checksummed write-ahead log of applied update batches.
+:mod:`repro.dynamic.repair`
+    The shared repair/prune/certification kernels both engines run.
+:mod:`repro.dynamic.ingest`
+    Pluggable update sources (file / directory segments / memory) and the
+    partition-aware :class:`~repro.dynamic.ingest.UpdateRouter`.
+:mod:`repro.dynamic.shard_worker`
+    Per-shard worker state + the one-process-per-shard pool plumbing.
+:mod:`repro.dynamic.sharded`
+    :func:`run_sharded_stream` / :func:`resume_sharded_stream` — the
+    partition-parallel pipeline behind ``repro stream --shards N``,
+    bit-identical to the monolithic engine for any shard count.
+:mod:`repro.dynamic.shard_checkpoint`
+    Shard-aware snapshots: per-shard files + a manifest commit point.
 """
 
 from repro.dynamic.checkpoint import (
@@ -39,6 +52,16 @@ from repro.dynamic.checkpoint import (
 from repro.dynamic.dynamic_graph import DynamicGraph
 from repro.dynamic.maintainer import BatchReport, IncrementalCoverMaintainer
 from repro.dynamic.policy import ResolveDecision, ResolvePolicy
+from repro.dynamic.ingest import (
+    DirectorySource,
+    FileSource,
+    MemorySource,
+    UpdateRouter,
+    UpdateSource,
+    iter_update_batches,
+    open_update_source,
+)
+from repro.dynamic.sharded import resume_sharded_stream, run_sharded_stream
 from repro.dynamic.stream import (
     CheckpointConfig,
     StreamRecord,
@@ -51,6 +74,7 @@ from repro.dynamic.wal import (
     WALError,
     WALRecord,
     WriteAheadLog,
+    compact_wal,
     read_wal,
     repair_wal,
 )
@@ -71,25 +95,35 @@ __all__ = [
     "CheckpointCorruptionError",
     "CheckpointError",
     "CheckpointVersionError",
+    "DirectorySource",
     "DynamicGraph",
     "EdgeDelete",
     "EdgeInsert",
+    "FileSource",
     "GraphUpdate",
     "IncrementalCoverMaintainer",
+    "MemorySource",
     "ResolveDecision",
     "ResolvePolicy",
     "RestoredState",
     "StreamRecord",
     "StreamSummary",
+    "UpdateRouter",
+    "UpdateSource",
     "WALCorruptionError",
     "WALError",
     "WALRecord",
     "WriteAheadLog",
+    "compact_wal",
+    "iter_update_batches",
     "load_snapshot",
     "load_update_stream",
+    "open_update_source",
     "read_wal",
     "repair_wal",
+    "resume_sharded_stream",
     "resume_stream",
+    "run_sharded_stream",
     "run_stream",
     "save_snapshot",
     "save_update_stream",

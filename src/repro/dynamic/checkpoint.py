@@ -57,6 +57,7 @@ __all__ = [
     "save_snapshot",
     "load_snapshot",
     "snapshot_digest",
+    "snapshot_meta",
 ]
 
 PathLike = Union[str, "os.PathLike[str]"]
@@ -130,6 +131,17 @@ def _digest(meta_sans_digest: dict, arrays: dict) -> str:
 def snapshot_digest(path: PathLike) -> str:
     """The stored content digest of a snapshot file (no verification)."""
     return _read(path).meta["content_digest"]
+
+
+def snapshot_meta(path: PathLike) -> dict:
+    """A snapshot's verified metadata header (no object reconstruction).
+
+    Cheap relative to :func:`load_snapshot` — integrity is checked but no
+    graph or maintainer is rebuilt.  Used by maintenance commands
+    (``repro wal-compact``) that only need the stream position stored in
+    ``meta["extra"]``.
+    """
+    return _read(path).meta
 
 
 def save_snapshot(

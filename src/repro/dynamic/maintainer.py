@@ -40,12 +40,21 @@ from repro.core.certificates import CoverCertificate
 from repro.core.postprocess import prune_redundant_vertices
 from repro.core.result import MWVCResult
 from repro.dynamic.dynamic_graph import DynamicGraph
+from repro.dynamic.repair import (
+    RESIDUAL_RTOL,
+    PruneView,
+    adopt_solution,
+    certificate_from_state,
+    greedy_prune_pass,
+    pricing_repair_pass,
+)
 from repro.graphs.updates import EdgeDelete, EdgeInsert, GraphUpdate, WeightChange
 
 __all__ = ["IncrementalCoverMaintainer", "BatchReport"]
 
-#: Relative tolerance for "residual weight is exhausted" decisions.
-_RESIDUAL_RTOL = 1e-9
+#: Relative tolerance for "residual weight is exhausted" decisions
+#: (the shared constant of :mod:`repro.dynamic.repair`).
+_RESIDUAL_RTOL = RESIDUAL_RTOL
 
 
 @dataclass(frozen=True)
@@ -301,22 +310,11 @@ class IncrementalCoverMaintainer:
         subtraction ``Σx − dual_excess`` — the latter is far tighter when
         a few reweighted vertices carry all the violation.
         """
-        cover_weight = self.cover_weight
-        dual_value = self._dual_value
-        load_factor = self.load_factor()
-        if dual_value > 0:
-            lower = max(dual_value / load_factor, dual_value - self.dual_excess())
-            ratio = cover_weight / lower if lower > 0 else float("inf")
-        else:
-            lower = 0.0
-            ratio = 1.0 if cover_weight == 0.0 else float("inf")
-        return CoverCertificate(
-            is_cover=True,
-            cover_weight=cover_weight,
-            dual_value=dual_value,
-            load_factor=load_factor,
-            opt_lower_bound=lower,
-            certified_ratio=ratio,
+        return certificate_from_state(
+            weights=self.dyn.weights,
+            cover=self._cover,
+            loads=self._loads,
+            dual_value=self._dual_value,
         )
 
     def certified_ratio(self) -> float:
@@ -362,23 +360,11 @@ class IncrementalCoverMaintainer:
         g = self.dyn.materialize() if graph is None else graph
         if g.n != self.dyn.n:
             raise ValueError(f"result graph has n={g.n}, expected {self.dyn.n}")
-        cover = np.asarray(result.in_cover, dtype=bool)
-        if cover.shape != (g.n,):
-            raise ValueError(f"cover mask has shape {cover.shape}, expected ({g.n},)")
-        if not g.is_vertex_cover(cover):
-            raise ValueError("adopted result is not a vertex cover of the current graph")
-        x = np.asarray(result.x, dtype=np.float64)
-        if x.shape != (g.m,):
-            raise ValueError(f"duals have shape {x.shape}, expected ({g.m},)")
-        if prune:
-            cover = prune_redundant_vertices(g, cover, weights=self.dyn.weights)
-        self._cover = cover.copy()
-        nz = np.nonzero(x)[0]
-        self._x = {
-            (int(g.edges_u[e]), int(g.edges_v[e])): float(x[e]) for e in nz
-        }
-        self._loads = g.incident_sums(x)
-        self._dual_value = float(x.sum())
+        state = adopt_solution(g, result, weights=self.dyn.weights, prune=prune)
+        self._cover = state.cover
+        self._x = state.duals
+        self._loads = state.loads
+        self._dual_value = state.dual_value
         cert = self.certificate()
         self._base_ratio = cert.certified_ratio
         return cert
@@ -459,47 +445,28 @@ class IncrementalCoverMaintainer:
         return pay
 
     def _repair(self, uncovered: Iterable[Tuple[int, int]]) -> Tuple[int, Set[int]]:
-        """Patch uncovered edges via the local-ratio/pricing rule.
+        """Patch uncovered edges via the shared pricing-repair kernel.
 
         For each still-uncovered edge, raise its dual by the smaller
         endpoint residual ``w − y``; every endpoint whose residual is
         exhausted enters the cover.  An endpoint already fully paid
         (residual ≤ 0, possible after an adopted solve with load factor
-        > 1 or a weight decrease) enters for free.
+        > 1 or a weight decrease) enters for free.  The pass itself is
+        :func:`repro.dynamic.repair.pricing_repair_pass` — the same code
+        the sharded coordinator runs, which is what makes sharded and
+        monolithic streams bit-identical.
         """
-        w = self.dyn.weights
-        repaired = 0
-        entered: Set[int] = set()
-        for key in sorted(set(uncovered)):
-            u, v = key
-            if not self.dyn.has_edge(u, v):
-                continue  # inserted then deleted within the same batch
-            if self._cover[u] or self._cover[v]:
-                continue  # an earlier repair already covered this edge
-            ru = float(w[u] - self._loads[u])
-            rv = float(w[v] - self._loads[v])
-            pay = max(0.0, min(ru, rv))
-            if pay > 0.0:
-                self._x[key] = self._x.get(key, 0.0) + pay
-                self._loads[u] += pay
-                self._loads[v] += pay
-                self._dual_value += pay
-            tol_u = _RESIDUAL_RTOL * float(w[u])
-            tol_v = _RESIDUAL_RTOL * float(w[v])
-            if ru - pay <= tol_u:
-                self._cover[u] = True
-                entered.add(u)
-            if rv - pay <= tol_v:
-                self._cover[v] = True
-                entered.add(v)
-            if not (self._cover[u] or self._cover[v]):  # pragma: no cover
-                # min(ru, rv) - pay == 0 exactly for at least one endpoint;
-                # defensive fallback for pathological float inputs.
-                cheap = u if w[u] <= w[v] else v
-                self._cover[cheap] = True
-                entered.add(cheap)
-            repaired += 1
-        return repaired, entered
+        outcome = pricing_repair_pass(
+            sorted(set(uncovered)),
+            weights=self.dyn.weights,
+            cover=self._cover,
+            loads=self._loads,
+            duals=self._x,
+            dual_value=self._dual_value,
+            has_edge=self.dyn.has_edge,
+        )
+        self._dual_value = outcome.dual_value
+        return outcome.repaired, outcome.entered
 
     def _prune_touched(self, touched: Set[int]) -> int:
         """Greedy redundancy pruning restricted to the touched vertices.
@@ -527,21 +494,10 @@ class IncrementalCoverMaintainer:
                 candidates=np.asarray(candidates, dtype=np.int64),
             )
             return before - int(self._cover.sum())
-        # Most expensive per covered edge first (isolated vertices cover
-        # nothing, so they lead); ties by id for determinism.
-        def effectiveness(v: int) -> float:
-            d = self.dyn.degree(v)
-            return w[v] / d if d else float("inf")
-
-        candidates.sort(key=lambda v: (-effectiveness(v), v))
-        locked: Set[int] = set()
-        pruned = 0
-        for v in candidates:
-            if not self._cover[v] or v in locked:
-                continue
-            neigh = self.dyn.neighbors(v)
-            if all(self._cover[u] for u in neigh):
-                self._cover[v] = False
-                pruned += 1
-                locked |= neigh
-        return pruned
+        pruned = greedy_prune_pass(
+            candidates,
+            weights=w,
+            cover=self._cover,
+            view=PruneView(neighbors=self.dyn.neighbors, degree=self.dyn.degree),
+        )
+        return len(pruned)

@@ -1,0 +1,311 @@
+"""Shared repair kernels: pricing repair, greedy prune, certification.
+
+The incremental maintainer (:mod:`repro.dynamic.maintainer`) and the
+sharded stream pipeline (:mod:`repro.dynamic.sharded`) must produce
+*bit-identical* covers for the same update stream — the differential
+equivalence contract ``tests/dynamic/test_sharded.py`` and
+``tests/properties/test_property_sharding.py`` enforce.  The only robust
+way to guarantee that is to run the exact same float operations in the
+exact same order, so the three state transitions that involve floating
+point live here as free functions over plain arrays, and both engines call
+them:
+
+* :func:`pricing_repair_pass` — the local-ratio/pricing repair of
+  uncovered edges, processed in canonical sorted-key order.  Both repairs
+  of one batch interact only through shared endpoints, so any
+  vertex-disjoint split of the key set composes back to the global result;
+  the sharded coordinator exploits this by running the single pass over
+  the merged per-shard frontiers.
+* :func:`greedy_prune_pass` — the sequential greedy redundancy prune over
+  a candidate set, parameterized by neighbor access so it runs unchanged
+  on a :class:`~repro.dynamic.DynamicGraph`, a shard's adjacency dict, or
+  the coordinator's shipped neighbor lists.  Prune decisions interact only
+  between *adjacent* candidates (removing ``v`` changes exactly its
+  neighbors' droppability), so candidate components split across shards
+  the same way repairs do.
+* :func:`certificate_from_state` — the duality certificate from the raw
+  ``(weights, cover, loads, dual_value)`` arrays.
+
+:class:`DisjointSets` is the union-find used to split repair/prune work
+into those independent conflict components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Set, Tuple
+
+import numpy as np
+
+from repro.core.certificates import CoverCertificate
+
+__all__ = [
+    "AdoptedState",
+    "DisjointSets",
+    "PruneView",
+    "RepairOutcome",
+    "adopt_solution",
+    "certificate_from_state",
+    "greedy_prune_pass",
+    "pricing_repair_pass",
+]
+
+#: Relative tolerance for "residual weight is exhausted" decisions.
+#: (Moved here from :mod:`repro.dynamic.maintainer`, which re-exports it.)
+RESIDUAL_RTOL = 1e-9
+
+EdgeKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    """Result of one :func:`pricing_repair_pass`.
+
+    Attributes
+    ----------
+    repaired:
+        Number of edges processed (present and uncovered when reached).
+    entered:
+        Vertices that entered the cover during the pass.
+    events:
+        ``(key, pay)`` per processed edge, in processing order — the
+        replication log the sharded coordinator broadcasts so shard
+        replicas apply the exact same dual additions.
+    dual_value:
+        The updated dual total (additions applied in processing order,
+        so the float accumulation matches a monolithic run exactly).
+    """
+
+    repaired: int
+    entered: Set[int]
+    events: List[Tuple[EdgeKey, float]]
+    dual_value: float
+
+
+def pricing_repair_pass(
+    keys: Iterable[EdgeKey],
+    *,
+    weights: np.ndarray,
+    cover: np.ndarray,
+    loads: np.ndarray,
+    duals: Dict[EdgeKey, float],
+    dual_value: float,
+    has_edge: Callable[[int, int], bool] = None,
+) -> RepairOutcome:
+    """Patch uncovered edges via the local-ratio/pricing rule.
+
+    ``keys`` must be canonical ``(u, v)`` pairs with ``u < v`` in sorted
+    order.  For each edge still present (when ``has_edge`` is given) and
+    still uncovered, the dual is raised by the smaller endpoint residual
+    ``w − y``; every endpoint whose residual is exhausted enters the
+    cover.  An endpoint already fully paid (residual ≤ 0, possible after
+    an adopted solve with load factor > 1 or a weight decrease) enters for
+    free.  ``cover``, ``loads`` and ``duals`` are mutated in place.
+    """
+    repaired = 0
+    entered: Set[int] = set()
+    events: List[Tuple[EdgeKey, float]] = []
+    for key in keys:
+        u, v = key
+        if has_edge is not None and not has_edge(u, v):
+            continue  # inserted then deleted within the same batch
+        if cover[u] or cover[v]:
+            continue  # an earlier repair already covered this edge
+        ru = float(weights[u] - loads[u])
+        rv = float(weights[v] - loads[v])
+        pay = max(0.0, min(ru, rv))
+        if pay > 0.0:
+            duals[key] = duals.get(key, 0.0) + pay
+            loads[u] += pay
+            loads[v] += pay
+            dual_value += pay
+        tol_u = RESIDUAL_RTOL * float(weights[u])
+        tol_v = RESIDUAL_RTOL * float(weights[v])
+        if ru - pay <= tol_u:
+            cover[u] = True
+            entered.add(u)
+        if rv - pay <= tol_v:
+            cover[v] = True
+            entered.add(v)
+        if not (cover[u] or cover[v]):  # pragma: no cover
+            # min(ru, rv) - pay == 0 exactly for at least one endpoint;
+            # defensive fallback for pathological float inputs.
+            cheap = u if weights[u] <= weights[v] else v
+            cover[cheap] = True
+            entered.add(cheap)
+        repaired += 1
+        events.append((key, pay))
+    return RepairOutcome(
+        repaired=repaired, entered=entered, events=events, dual_value=dual_value
+    )
+
+
+@dataclass(frozen=True)
+class PruneView:
+    """Neighbor access for :func:`greedy_prune_pass`.
+
+    ``neighbors(v)`` must yield the *complete* current neighbor set of
+    ``v`` and ``degree(v)`` its current degree — a candidate is droppable
+    iff every incident edge's other endpoint is covered, so a partial
+    neighborhood would silently break the cover.
+    """
+
+    neighbors: Callable[[int], Iterable[int]]
+    degree: Callable[[int], int]
+
+
+def greedy_prune_pass(
+    candidates: Iterable[int],
+    *,
+    weights: np.ndarray,
+    cover: np.ndarray,
+    view: PruneView,
+) -> List[int]:
+    """Greedy redundancy prune restricted to ``candidates``.
+
+    Decreasing ``w/deg`` order (most expensive per covered edge first;
+    isolated vertices lead; ties by id for determinism), droppable iff
+    every current neighbor is covered, and dropping ``v`` locks its
+    neighbors — each now solely covers its edge to ``v``.  ``cover`` is
+    mutated in place; returns the pruned vertex ids.
+    """
+    cands = [v for v in candidates if cover[v]]
+    if not cands:
+        return []
+
+    def effectiveness(v: int) -> float:
+        d = view.degree(v)
+        return weights[v] / d if d else float("inf")
+
+    cands.sort(key=lambda v: (-effectiveness(v), v))
+    locked: Set[int] = set()
+    pruned: List[int] = []
+    for v in cands:
+        if not cover[v] or v in locked:
+            continue
+        neigh = set(view.neighbors(v))
+        if all(cover[u] for u in neigh):
+            cover[v] = False
+            pruned.append(v)
+            locked |= neigh
+    return pruned
+
+
+def certificate_from_state(
+    *,
+    weights: np.ndarray,
+    cover: np.ndarray,
+    loads: np.ndarray,
+    dual_value: float,
+) -> CoverCertificate:
+    """The duality certificate of a maintained ``(cover, duals)`` state.
+
+    The OPT lower bound is the better of the two sound repairs of a
+    violated dual: global scaling ``Σx / load_factor`` and excess
+    subtraction ``Σx − Σ_v (y_v − w_v)_+`` (see
+    :meth:`repro.dynamic.IncrementalCoverMaintainer.certificate`).
+    ``is_cover`` asserts the caller's validity invariant — it is not
+    recomputed here.
+    """
+    cover_weight = float(weights[cover].sum())
+    n = weights.shape[0]
+    if n == 0:
+        load_factor = 1.0
+        excess = 0.0
+    else:
+        load_factor = max(1.0, float((loads / weights).max()))
+        excess = float(np.maximum(loads - weights, 0.0).sum())
+    if dual_value > 0:
+        lower = max(dual_value / load_factor, dual_value - excess)
+        ratio = cover_weight / lower if lower > 0 else float("inf")
+    else:
+        lower = 0.0
+        ratio = 1.0 if cover_weight == 0.0 else float("inf")
+    return CoverCertificate(
+        is_cover=True,
+        cover_weight=cover_weight,
+        dual_value=dual_value,
+        load_factor=load_factor,
+        opt_lower_bound=lower,
+        certified_ratio=ratio,
+    )
+
+
+@dataclass
+class AdoptedState:
+    """A freshly solved solution converted to maintained-state arrays."""
+
+    cover: np.ndarray
+    duals: Dict[EdgeKey, float]
+    loads: np.ndarray
+    dual_value: float
+
+
+def adopt_solution(graph, result, *, weights: np.ndarray, prune: bool = True) -> AdoptedState:
+    """Convert a solver result into maintained state for ``graph``.
+
+    The shared adoption path of
+    :meth:`repro.dynamic.IncrementalCoverMaintainer.adopt` and the sharded
+    coordinator: validates the result against the graph, optionally prunes
+    the cover (:func:`repro.core.postprocess.prune_redundant_vertices` —
+    never heavier, duals untouched), and maps the edge-indexed duals into
+    pair-keyed form.
+    """
+    from repro.core.postprocess import prune_redundant_vertices
+
+    cover = np.asarray(result.in_cover, dtype=bool)
+    if cover.shape != (graph.n,):
+        raise ValueError(f"cover mask has shape {cover.shape}, expected ({graph.n},)")
+    if not graph.is_vertex_cover(cover):
+        raise ValueError("adopted result is not a vertex cover of the current graph")
+    x = np.asarray(result.x, dtype=np.float64)
+    if x.shape != (graph.m,):
+        raise ValueError(f"duals have shape {x.shape}, expected ({graph.m},)")
+    if prune:
+        cover = prune_redundant_vertices(graph, cover, weights=weights)
+    nz = np.nonzero(x)[0]
+    duals = {
+        (int(graph.edges_u[e]), int(graph.edges_v[e])): float(x[e]) for e in nz
+    }
+    return AdoptedState(
+        cover=cover.copy(),
+        duals=duals,
+        loads=graph.incident_sums(x),
+        dual_value=float(x.sum()),
+    )
+
+
+class DisjointSets:
+    """Union-find over arbitrary hashable items (path halving + size)."""
+
+    def __init__(self):
+        self._parent: Dict[object, object] = {}
+        self._size: Dict[object, int] = {}
+
+    def find(self, item) -> object:
+        parent = self._parent
+        if item not in parent:
+            parent[item] = item
+            self._size[item] = 1
+            return item
+        while parent[item] != item:
+            parent[item] = parent[parent[item]]
+            item = parent[item]
+        return item
+
+    def union(self, a, b) -> object:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def groups(self) -> Dict[object, List[object]]:
+        """Every known item grouped under its root."""
+        out: Dict[object, List[object]] = {}
+        for item in self._parent:
+            out.setdefault(self.find(item), []).append(item)
+        return out

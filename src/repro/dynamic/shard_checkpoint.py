@@ -1,0 +1,356 @@
+"""Shard-aware snapshots: per-shard files + a manifest commit point.
+
+A sharded stream's durable state is split the same way its live state is:
+
+* ``shard-0000.npz`` … — each shard's **home edges** (edges whose min
+  endpoint it owns — every current edge appears in exactly one file) and
+  home duals, written *by the shard's own process* in parallel;
+* ``coordinator.npz`` — the authoritative O(n) arrays (cover, loads,
+  weights) plus the scalar state (dual total, drift baseline, batch
+  count) in its JSON header;
+* ``manifest.json`` — written **last**, atomically: the commit point.  It
+  records the partition parameters (so resume re-derives the exact shard
+  layout), the per-file SHA-256 digests, and the stream counters.
+
+One snapshot is one directory, ``snapshot-<batch>.shards/``, so rotation
+(:class:`repro.dynamic.stream.CheckpointConfig` ``keep_snapshots``) prunes
+whole generations and a crash mid-snapshot leaves at worst a manifest-less
+directory that restore ignores and the next rotation sweeps away.  The
+write-ahead log is untouched — the coordinator commits whole batches to
+the same ``wal.jsonl`` a monolithic run uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import re
+import shutil
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.dynamic.checkpoint import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointVersionError,
+)
+from repro.graphs.io import write_bytes_atomic
+
+__all__ = [
+    "SHARDED_SNAPSHOT_VERSION",
+    "RestoredShardedState",
+    "list_sharded_snapshots",
+    "load_sharded_snapshot",
+    "prune_sharded_snapshots",
+    "save_sharded_snapshot",
+    "sharded_snapshot_dir",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+SHARDED_SNAPSHOT_VERSION = 1
+
+_MAGIC = "repro-sharded-snapshot"
+_MANIFEST_FILE = "manifest.json"
+_COORDINATOR_FILE = "coordinator.npz"
+_DIR_PATTERN = re.compile(r"^snapshot-(\d{8,})\.shards$")
+
+
+def sharded_snapshot_dir(directory: PathLike, next_batch_index: int) -> str:
+    """Path of the snapshot generation taken at ``next_batch_index``."""
+    return os.path.join(
+        os.fspath(directory), f"snapshot-{int(next_batch_index):08d}.shards"
+    )
+
+
+def list_sharded_snapshots(directory: PathLike) -> List[Tuple[int, str]]:
+    """Committed snapshot generations, newest first.
+
+    Only directories holding a ``manifest.json`` count — a manifest-less
+    directory is an uncommitted (crashed) snapshot attempt.
+    """
+    root = os.fspath(directory)
+    out: List[Tuple[int, str]] = []
+    try:
+        names = os.listdir(root)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        match = _DIR_PATTERN.match(name)
+        if not match:
+            continue
+        path = os.path.join(root, name)
+        if os.path.exists(os.path.join(path, _MANIFEST_FILE)):
+            out.append((int(match.group(1)), path))
+    out.sort(reverse=True)
+    return out
+
+
+def prune_sharded_snapshots(directory: PathLike, keep: int) -> List[str]:
+    """Remove snapshot generations beyond the newest ``keep``; also sweeps
+    manifest-less (crashed) generations older than the newest kept one.
+    Returns the removed paths."""
+    root = os.fspath(directory)
+    committed = list_sharded_snapshots(root)
+    keep_paths = {path for _, path in committed[: max(1, keep)]}
+    keep_floor = min(
+        (idx for idx, path in committed if path in keep_paths), default=None
+    )
+    removed: List[str] = []
+    try:
+        names = os.listdir(root)
+    except FileNotFoundError:
+        return removed
+    for name in names:
+        match = _DIR_PATTERN.match(name)
+        if not match:
+            continue
+        path = os.path.join(root, name)
+        if path in keep_paths:
+            continue
+        committed_dir = os.path.exists(os.path.join(path, _MANIFEST_FILE))
+        if not committed_dir and (
+            keep_floor is None or int(match.group(1)) >= keep_floor
+        ):
+            # An uncommitted attempt newer than the retained floor may be
+            # a snapshot in progress; leave it alone.
+            continue
+        shutil.rmtree(path, ignore_errors=True)
+        removed.append(path)
+    return removed
+
+
+def _file_digest(path: str) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def save_sharded_snapshot(
+    directory: PathLike,
+    *,
+    next_batch_index: int,
+    pool,
+    num_shards: int,
+    partition: str,
+    partition_seed: int,
+    n: int,
+    weights: np.ndarray,
+    cover: np.ndarray,
+    loads: np.ndarray,
+    dual_value: float,
+    base_ratio: Optional[float],
+    batches_applied: int,
+    extra: Optional[dict] = None,
+    fsync: bool = True,
+) -> str:
+    """Write one snapshot generation; returns its directory path.
+
+    Shard files are written concurrently by the shard workers themselves
+    (parallel I/O); the coordinator then writes its own arrays and commits
+    with the manifest.
+    """
+    snapdir = sharded_snapshot_dir(directory, next_batch_index)
+    os.makedirs(snapdir, exist_ok=True)
+
+    shard_results = pool.call_all(
+        "write_snapshot_file",
+        [
+            {"path": os.path.join(snapdir, f"shard-{s:04d}.npz"), "fsync": fsync}
+            for s in range(num_shards)
+        ],
+    )
+
+    coord_meta = {
+        "magic": _MAGIC,
+        "format_version": SHARDED_SNAPSHOT_VERSION,
+        "n": int(n),
+        "dual_value": float(dual_value),
+        "base_ratio": None if base_ratio is None else float(base_ratio),
+        "batches_applied": int(batches_applied),
+    }
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf,
+        meta_json=np.frombuffer(
+            json.dumps(coord_meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        ),
+        cover=np.asarray(cover, dtype=bool),
+        loads=np.asarray(loads, dtype=np.float64),
+        weights=np.asarray(weights, dtype=np.float64),
+    )
+    coord_bytes = buf.getvalue()
+    coord_path = os.path.join(snapdir, _COORDINATOR_FILE)
+    write_bytes_atomic(coord_path, coord_bytes, fsync=fsync)
+
+    manifest = {
+        "magic": _MAGIC,
+        "format_version": SHARDED_SNAPSHOT_VERSION,
+        "next_batch_index": int(next_batch_index),
+        "num_shards": int(num_shards),
+        "partition": str(partition),
+        "partition_seed": int(partition_seed),
+        "n": int(n),
+        "extra": dict(extra or {}),
+        "coordinator": {
+            "file": _COORDINATOR_FILE,
+            "digest": hashlib.sha256(coord_bytes).hexdigest(),
+        },
+        "shards": [
+            {
+                "file": f"shard-{s:04d}.npz",
+                "digest": result["digest"],
+                "m": int(result["m"]),
+            }
+            for s, result in enumerate(shard_results)
+        ],
+    }
+    write_bytes_atomic(
+        os.path.join(snapdir, _MANIFEST_FILE),
+        (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+        fsync=fsync,
+    )
+    return snapdir
+
+
+@dataclass(frozen=True)
+class RestoredShardedState:
+    """Everything :func:`load_sharded_snapshot` reassembles.
+
+    ``edges_u``/``edges_v`` are the global current edge set (union of the
+    shard files' home edges); ``duals`` the global pair-keyed dual map.
+    """
+
+    manifest: dict
+    weights: np.ndarray
+    cover: np.ndarray
+    loads: np.ndarray
+    dual_value: float
+    base_ratio: Optional[float]
+    batches_applied: int
+    edges_u: np.ndarray
+    edges_v: np.ndarray
+    duals: Dict[Tuple[int, int], float]
+
+
+def _load_npz(path: str, expected_digest: str, *, required: Tuple[str, ...]) -> dict:
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        raise CheckpointCorruptionError(
+            f"sharded snapshot member missing: {path}"
+        ) from None
+    except OSError as exc:
+        raise CheckpointError(f"cannot read {path}: {exc}") from exc
+    if hashlib.sha256(data).hexdigest() != expected_digest:
+        raise CheckpointCorruptionError(
+            f"{path}: digest mismatch — the snapshot member is corrupt"
+        )
+    try:
+        with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+            missing = [f for f in required if f not in archive]
+            if missing:
+                raise CheckpointCorruptionError(
+                    f"{path}: missing array members {missing}"
+                )
+            out = {f: archive[f] for f in required}
+            if "meta_json" in archive:
+                out["meta"] = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointCorruptionError(f"{path}: cannot parse archive ({exc})") from exc
+    return out
+
+
+def load_sharded_snapshot(snapdir: PathLike) -> RestoredShardedState:
+    """Load + integrity-check one snapshot generation.
+
+    Raises
+    ------
+    CheckpointCorruptionError
+        Digest mismatches, missing members, damaged archives.
+    CheckpointVersionError
+        A manifest format this build cannot read.
+    """
+    snapdir = os.fspath(snapdir)
+    manifest_path = os.path.join(snapdir, _MANIFEST_FILE)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except FileNotFoundError:
+        raise CheckpointError(f"no manifest in {snapdir}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruptionError(
+            f"cannot read manifest {manifest_path}: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or manifest.get("magic") != _MAGIC:
+        raise CheckpointCorruptionError(f"{manifest_path}: not a {_MAGIC} manifest")
+    version = manifest.get("format_version")
+    if version != SHARDED_SNAPSHOT_VERSION:
+        raise CheckpointVersionError(
+            f"{manifest_path}: format version {version!r} is not supported "
+            f"(this build reads version {SHARDED_SNAPSHOT_VERSION})"
+        )
+
+    coord = _load_npz(
+        os.path.join(snapdir, manifest["coordinator"]["file"]),
+        manifest["coordinator"]["digest"],
+        required=("cover", "loads", "weights"),
+    )
+    meta = coord.get("meta", {})
+    n = int(manifest["n"])
+    cover = np.asarray(coord["cover"], dtype=bool)
+    loads = np.asarray(coord["loads"], dtype=np.float64)
+    weights = np.asarray(coord["weights"], dtype=np.float64)
+    for name, arr in (("cover", cover), ("loads", loads), ("weights", weights)):
+        if arr.shape != (n,):
+            raise CheckpointCorruptionError(
+                f"{snapdir}: coordinator {name} has shape {arr.shape}, "
+                f"expected ({n},)"
+            )
+
+    all_u: List[np.ndarray] = []
+    all_v: List[np.ndarray] = []
+    duals: Dict[Tuple[int, int], float] = {}
+    for entry in manifest["shards"]:
+        shard = _load_npz(
+            os.path.join(snapdir, entry["file"]),
+            entry["digest"],
+            required=("edges_u", "edges_v", "dual_keys", "dual_values"),
+        )
+        u = np.asarray(shard["edges_u"], dtype=np.int64)
+        v = np.asarray(shard["edges_v"], dtype=np.int64)
+        if u.shape != v.shape or u.shape[0] != int(entry["m"]):
+            raise CheckpointCorruptionError(
+                f"{snapdir}/{entry['file']}: edge arrays disagree with manifest"
+            )
+        all_u.append(u)
+        all_v.append(v)
+        for (du, dv), val in zip(
+            np.asarray(shard["dual_keys"], dtype=np.int64).reshape(-1, 2),
+            np.asarray(shard["dual_values"], dtype=np.float64),
+        ):
+            duals[(int(du), int(dv))] = float(val)
+
+    edges_u = np.concatenate(all_u) if all_u else np.empty(0, np.int64)
+    edges_v = np.concatenate(all_v) if all_v else np.empty(0, np.int64)
+    return RestoredShardedState(
+        manifest=manifest,
+        weights=weights,
+        cover=cover,
+        loads=loads,
+        dual_value=float(meta.get("dual_value", 0.0)),
+        base_ratio=meta.get("base_ratio"),
+        batches_applied=int(meta.get("batches_applied", 0)),
+        edges_u=edges_u,
+        edges_v=edges_v,
+        duals=duals,
+    )

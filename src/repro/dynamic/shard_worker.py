@@ -1,0 +1,454 @@
+"""Shard layer of the sharded stream pipeline: per-shard worker state.
+
+Each shard owns a slice of the vertex space (an assignment array from
+:func:`repro.mpc.partition.make_partition`) and holds, in its own process:
+
+* the **local subgraph** — every current edge incident to an owned vertex
+  (cut edges are held by both incident shards), as a plain adjacency dict;
+* full **weight** and **cover** replicas — pruning needs the weight and
+  cover state of ghost neighbors, and replicating two O(n) arrays is the
+  near-linear-per-machine memory the MPC model grants;
+* the **duals of incident edges** — retiring a deleted edge's dual must
+  decrement the owner-side load, so each incident shard keeps the value
+  (the coordinator counts it once, from the edge's *home* shard: the
+  owner of its min endpoint).
+
+The worker performs the per-batch neighborhood-heavy work in parallel —
+applying routed updates, detecting uncovered insertions, and greedily
+pruning *interior* candidate components (components of the
+candidate-adjacency graph containing no ghost candidate; those provably
+cannot interact with any other shard's pruning) — while the coordinator
+(:mod:`repro.dynamic.sharded`) replays the cheap cross-shard effects
+serially to keep the authoritative arrays bit-exact.
+
+Process plumbing mirrors :mod:`repro.service.worker`: everything a pool
+ships must be a top-level function with picklable arguments.  A shard's
+state must survive between batches, and ``ProcessPoolExecutor`` cannot pin
+tasks to workers, so :class:`ShardPool` runs **one single-worker executor
+per shard** — every call for shard *i* lands in the same process, where
+the state lives in a module global.  ``use_processes=False`` keeps the
+states in-process (the deterministic reference mode used by tests and by
+``--shards N`` on one core).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.dynamic.repair import DisjointSets, PruneView, greedy_prune_pass
+
+__all__ = ["ShardInit", "ShardPool", "ShardState"]
+
+EdgeKey = Tuple[int, int]
+
+_EMPTY: Set[int] = frozenset()
+
+
+@dataclass
+class ShardInit:
+    """Picklable construction blob for one shard's state.
+
+    ``edges_u``/``edges_v`` are the canonical endpoint arrays of every
+    edge incident to a vertex owned by ``shard_id``; ``dual_keys``/
+    ``dual_values`` the duals of those edges (zero-dual edges omitted).
+    """
+
+    shard_id: int
+    num_shards: int
+    assignment: np.ndarray
+    edges_u: np.ndarray
+    edges_v: np.ndarray
+    weights: np.ndarray
+    cover: np.ndarray
+    dual_keys: np.ndarray
+    dual_values: np.ndarray
+
+
+class ShardState:
+    """Live state of one shard; methods are the wire protocol verbs."""
+
+    def __init__(self, init: ShardInit):
+        self.shard_id = int(init.shard_id)
+        self.num_shards = int(init.num_shards)
+        self.assignment = np.asarray(init.assignment, dtype=np.int64)
+        self.owned = self.assignment == self.shard_id
+        self.n = int(self.assignment.shape[0])
+        self.weights = np.array(init.weights, dtype=np.float64)
+        self.cover = np.array(init.cover, dtype=bool)
+        self.adj: Dict[int, Set[int]] = {}
+        for u, v in zip(init.edges_u, init.edges_v):
+            self._adj_add(int(u), int(v))
+        self.duals: Dict[EdgeKey, float] = {}
+        for (u, v), val in zip(init.dual_keys, init.dual_values):
+            self.duals[(int(u), int(v))] = float(val)
+
+    # ------------------------------------------------------------------ #
+    # adjacency bookkeeping
+    # ------------------------------------------------------------------ #
+    def _adj_add(self, u: int, v: int) -> None:
+        self.adj.setdefault(u, set()).add(v)
+        self.adj.setdefault(v, set()).add(u)
+
+    def _adj_remove(self, u: int, v: int) -> None:
+        self.adj[u].discard(v)
+        self.adj[v].discard(u)
+
+    def _has_edge(self, u: int, v: int) -> bool:
+        return v in self.adj.get(u, _EMPTY)
+
+    # ------------------------------------------------------------------ #
+    # round 1: apply the routed slice, detect uncovered insertions
+    # ------------------------------------------------------------------ #
+    def apply_batch(
+        self,
+        events: Sequence[tuple],
+        cover_clears: Sequence[int] = (),
+        want_digest: bool = False,
+    ) -> dict:
+        """Apply one routed wire slice in stream order.
+
+        ``cover_clears`` are the cover removals of the *previous* batch's
+        cross-shard pruning, piggybacked here so the pre-batch cover
+        replica matches the coordinator's before uncovered detection.
+        Returns the home-shard effects log (for the coordinator's ordered
+        replay), the still-present uncovered insertions, the touched owned
+        vertices, and — when asked — the pre-apply local edge digest.
+        """
+        cover = self.cover
+        for v in cover_clears:
+            cover[v] = False
+        digest = self.local_digest() if want_digest else ""
+
+        assignment = self.assignment
+        owned = self.owned
+        effects: List[tuple] = []
+        uncovered: List[EdgeKey] = []
+        touched: Set[int] = set()
+        for event in events:
+            seq, op = event[0], event[1]
+            if op == "w":
+                v, w = int(event[2]), float(event[3])
+                if not np.isfinite(w) or w <= 0:
+                    raise ValueError(
+                        f"vertex weights must be finite and > 0, got {w}"
+                    )
+                self.weights[v] = w
+                continue
+            u, v = int(event[2]), int(event[3])
+            if op == "i":
+                if u == v:
+                    raise ValueError(f"self-loop at vertex {u} is not allowed")
+                if self._has_edge(u, v):
+                    continue
+                self._adj_add(u, v)
+                if owned[u]:
+                    touched.add(u)
+                if owned[v]:
+                    touched.add(v)
+                if assignment[u] == self.shard_id:
+                    effects.append((seq, "i", u, v, 0.0))
+                if not (cover[u] or cover[v]):
+                    uncovered.append((u, v))
+            elif op == "d":
+                if u == v or not self._has_edge(u, v):
+                    continue
+                self._adj_remove(u, v)
+                pay = self.duals.pop((u, v), 0.0)
+                if owned[u]:
+                    touched.add(u)
+                if owned[v]:
+                    touched.add(v)
+                if assignment[u] == self.shard_id:
+                    effects.append((seq, "d", u, v, pay))
+            else:  # pragma: no cover - router emits only i/d/w
+                raise ValueError(f"unknown wire op {op!r}")
+        present = sorted(k for k in set(uncovered) if self._has_edge(*k))
+        return {
+            "effects": effects,
+            "uncovered": present,
+            "touched": sorted(touched),
+            "digest": digest,
+        }
+
+    # ------------------------------------------------------------------ #
+    # round 2: sync repair results, prune interior components
+    # ------------------------------------------------------------------ #
+    def finish_batch(
+        self,
+        new_duals: Sequence[Tuple[EdgeKey, float]] = (),
+        entered: Sequence[int] = (),
+        candidates: Sequence[int] = (),
+    ) -> dict:
+        """Apply the coordinator's repair results, then prune locally.
+
+        ``new_duals`` (sorted by key) are stored for edges incident to an
+        owned vertex; ``entered`` vertices join the cover replica.  Owned
+        prune candidates are split by candidate-adjacency into *interior*
+        components (no ghost candidate — pruned here, in parallel across
+        shards) and *boundary* components, shipped back with their full
+        neighbor lists so the coordinator can run the exact sequential
+        greedy across shard boundaries.
+        """
+        owned = self.owned
+        for key, pay in new_duals:
+            u, v = key
+            if owned[u] or owned[v]:
+                self.duals[key] = self.duals.get(key, 0.0) + pay
+        cover = self.cover
+        for v in entered:
+            cover[v] = True
+
+        cand_set = set(candidates)
+        owned_cands = [v for v in candidates if owned[v] and cover[v]]
+        dsu = DisjointSets()
+        for v in owned_cands:
+            dsu.find(v)
+            for nb in self.adj.get(v, _EMPTY):
+                if nb in cand_set:
+                    dsu.union(v, nb)
+        boundary_roots = set()
+        for v in owned_cands:
+            for nb in self.adj.get(v, _EMPTY):
+                if nb in cand_set and not owned[nb]:
+                    boundary_roots.add(dsu.find(v))
+        interior = [v for v in owned_cands if dsu.find(v) not in boundary_roots]
+        boundary = [v for v in owned_cands if dsu.find(v) in boundary_roots]
+
+        pruned = greedy_prune_pass(
+            interior,
+            weights=self.weights,
+            cover=cover,
+            view=PruneView(
+                neighbors=lambda v: self.adj.get(v, _EMPTY),
+                degree=lambda v: len(self.adj.get(v, _EMPTY)),
+            ),
+        )
+        shipped = [
+            (v, len(self.adj.get(v, _EMPTY)), sorted(self.adj.get(v, _EMPTY)))
+            for v in boundary
+        ]
+        return {"pruned": pruned, "boundary": shipped}
+
+    # ------------------------------------------------------------------ #
+    # gather / scatter
+    # ------------------------------------------------------------------ #
+    def export_edges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current *home* edges (min endpoint owned), canonically sorted.
+
+        Concatenating every shard's export yields each current edge
+        exactly once — the gather path of re-solves and snapshots.
+        """
+        us: List[int] = []
+        vs: List[int] = []
+        owned = self.owned
+        for u, neigh in self.adj.items():
+            if not owned[u]:
+                continue
+            for v in neigh:
+                if v > u:
+                    us.append(u)
+                    vs.append(v)
+        u_arr = np.asarray(us, dtype=np.int64)
+        v_arr = np.asarray(vs, dtype=np.int64)
+        # Canonical order via one vectorized lexsort — this runs per batch
+        # when WAL digest stamping is on, so no Python-level sorting.
+        order = np.lexsort((v_arr, u_arr))
+        return u_arr[order], v_arr[order]
+
+    def export_duals(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Home duals as ``(keys, values)`` arrays, sorted by key."""
+        keys = sorted(
+            k for k in self.duals if self.assignment[k[0]] == self.shard_id
+        )
+        arr = np.asarray(keys, dtype=np.int64).reshape(len(keys), 2)
+        vals = np.asarray([self.duals[k] for k in keys], dtype=np.float64)
+        return arr, vals
+
+    def adopt(
+        self,
+        cover: np.ndarray,
+        dual_keys: np.ndarray,
+        dual_values: np.ndarray,
+    ) -> None:
+        """Replace cover and incident duals after a coordinator re-solve.
+
+        ``dual_keys``/``dual_values`` arrive pre-filtered to this shard's
+        incident edges.
+        """
+        self.cover = np.array(cover, dtype=bool)
+        self.duals = {
+            (int(u), int(v)): float(x)
+            for (u, v), x in zip(dual_keys, dual_values)
+        }
+
+    # ------------------------------------------------------------------ #
+    # integrity / durability
+    # ------------------------------------------------------------------ #
+    def local_digest(self) -> str:
+        """Digest of the shard's current home-edge set.
+
+        The coordinator combines the per-shard digests (plus its own
+        weights digest) into the sharded stream's WAL state stamp.
+        """
+        u, v = self.export_edges()
+        h = hashlib.sha256()
+        h.update(b"repro-shard-edges\0")
+        h.update(f"{self.n}\0{self.shard_id}\0{self.num_shards}\0".encode("ascii"))
+        h.update(np.ascontiguousarray(u).tobytes())
+        h.update(np.ascontiguousarray(v).tobytes())
+        return h.hexdigest()
+
+    def snapshot_payload(self) -> dict:
+        """The shard's durable state: home edges + home duals (arrays)."""
+        u, v = self.export_edges()
+        keys, vals = self.export_duals()
+        return {
+            "edges_u": u,
+            "edges_v": v,
+            "dual_keys": keys,
+            "dual_values": vals,
+        }
+
+    def write_snapshot_file(self, path: str, fsync: bool = True) -> dict:
+        """Write this shard's snapshot file atomically (in parallel with
+        its siblings); returns the file digest + edge count for the
+        coordinator's manifest."""
+        from repro.graphs.io import write_bytes_atomic
+
+        payload = self.snapshot_payload()
+        meta = {
+            "shard_id": self.shard_id,
+            "num_shards": self.num_shards,
+            "n": self.n,
+            "m": int(payload["edges_u"].shape[0]),
+        }
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf,
+            meta_json=np.frombuffer(
+                json.dumps(meta, sort_keys=True).encode("utf-8"),
+                dtype=np.uint8,
+            ),
+            **payload,
+        )
+        data = buf.getvalue()
+        write_bytes_atomic(path, data, fsync=fsync)
+        return {
+            "digest": hashlib.sha256(data).hexdigest(),
+            "m": meta["m"],
+        }
+
+
+# ---------------------------------------------------------------------- #
+# process-pool plumbing (module-global state, one process per shard)
+# ---------------------------------------------------------------------- #
+
+_WORKER_STATES: Dict[int, ShardState] = {}
+
+
+def _shard_configure(init: ShardInit) -> int:
+    """Install (or replace) a shard's state in this worker process."""
+    _WORKER_STATES[init.shard_id] = ShardState(init)
+    return init.shard_id
+
+
+def _shard_call(shard_id: int, method: str, kwargs: dict):
+    """Dispatch one protocol verb against the resident shard state."""
+    state = _WORKER_STATES.get(shard_id)
+    if state is None:  # pragma: no cover - defensive; configure runs first
+        raise RuntimeError(f"shard {shard_id} is not configured in this worker")
+    return getattr(state, method)(**kwargs)
+
+
+class ShardPool:
+    """N shard hosts — process-backed or inline — with scatter/gather calls.
+
+    Process mode starts one single-worker :class:`ProcessPoolExecutor` per
+    shard so that every call for a shard executes in the process holding
+    its state.  Inline mode keeps :class:`ShardState` objects in the
+    calling process (bit-identical results; no parallelism) — the mode
+    tests and single-core runs use.
+    """
+
+    def __init__(self, inits: Sequence[ShardInit], *, use_processes: bool):
+        self.num_shards = len(inits)
+        self.use_processes = bool(use_processes)
+        self._pools: List[ProcessPoolExecutor] = []
+        self._states: Dict[int, ShardState] = {}
+        if self.use_processes:
+            try:
+                for init in inits:
+                    self._pools.append(ProcessPoolExecutor(max_workers=1))
+                futures = [
+                    pool.submit(_shard_configure, init)
+                    for pool, init in zip(self._pools, inits)
+                ]
+                for future in futures:
+                    future.result()
+            except BaseException:
+                self.close()
+                raise
+        else:
+            for init in inits:
+                self._states[init.shard_id] = ShardState(init)
+
+    # -- lifecycle ------------------------------------------------------ #
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=True, cancel_futures=True)
+        self._pools = []
+        self._states = {}
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- calls ----------------------------------------------------------- #
+    def call_all(self, method: str, payloads: Sequence[dict]) -> List[dict]:
+        """Invoke ``method`` on every shard concurrently; results in shard order."""
+        if len(payloads) != self.num_shards:
+            raise ValueError(
+                f"expected {self.num_shards} payloads, got {len(payloads)}"
+            )
+        if self.use_processes:
+            futures = [
+                pool.submit(_shard_call, shard_id, method, payload)
+                for shard_id, (pool, payload) in enumerate(
+                    zip(self._pools, payloads)
+                )
+            ]
+            return [future.result() for future in futures]
+        return [
+            getattr(self._states[shard_id], method)(**payload)
+            for shard_id, payload in enumerate(payloads)
+        ]
+
+    def broadcast(self, method: str, payload: Optional[dict] = None) -> List[dict]:
+        """``call_all`` with one shared payload."""
+        return self.call_all(method, [dict(payload or {})] * self.num_shards)
+
+    def reconfigure(self, inits: Sequence[ShardInit]) -> None:
+        """Replace every shard's state (the resume / adopt-reset path)."""
+        if len(inits) != self.num_shards:
+            raise ValueError(
+                f"expected {self.num_shards} inits, got {len(inits)}"
+            )
+        if self.use_processes:
+            futures = [
+                pool.submit(_shard_configure, init)
+                for pool, init in zip(self._pools, inits)
+            ]
+            for future in futures:
+                future.result()
+        else:
+            for init in inits:
+                self._states[init.shard_id] = ShardState(init)

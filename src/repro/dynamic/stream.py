@@ -41,13 +41,15 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.dynamic.checkpoint import (
+    CheckpointCorruptionError,
     CheckpointError,
     load_snapshot,
     save_snapshot,
@@ -55,7 +57,7 @@ from repro.dynamic.checkpoint import (
 from repro.dynamic.dynamic_graph import DynamicGraph
 from repro.dynamic.maintainer import BatchReport, IncrementalCoverMaintainer
 from repro.dynamic.policy import ResolvePolicy
-from repro.dynamic.wal import WriteAheadLog, read_wal, repair_wal
+from repro.dynamic.wal import WriteAheadLog, compact_wal, read_wal, repair_wal
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.io import load_npz, save_npz, write_bytes_atomic
 from repro.graphs.updates import (
@@ -111,6 +113,19 @@ class CheckpointConfig:
         Stamp each WAL record with the pre-apply graph content digest so
         replay verifies, record by record, that it rebuilds the exact
         state the original run saw.  Costs one O(m) hash per batch.
+    keep_snapshots:
+        Retain the last this-many snapshots instead of one.  With ``1``
+        (the default) the single ``snapshot.npz`` is overwritten in place,
+        exactly the pre-rotation behavior.  With ``k > 1`` snapshots are
+        written as ``snapshot-<batch>.npz`` and older files beyond ``k``
+        are pruned after each commit; :func:`resume_stream` restores the
+        newest snapshot that passes integrity checks, falling back to an
+        older one when the newest is corrupt.
+    compact_wal:
+        After each committed snapshot, drop WAL records older than the
+        *oldest retained* snapshot (they can never be replayed again), so
+        an unbounded stream keeps a bounded log.  ``repro wal-compact``
+        performs the same truncation offline.
     """
 
     directory: PathLike
@@ -118,11 +133,17 @@ class CheckpointConfig:
     fsync: bool = True
     compress: bool = False
     stamp_digests: bool = True
+    keep_snapshots: int = 1
+    compact_wal: bool = False
 
     def __post_init__(self):
         if self.snapshot_every < 1:
             raise ValueError(
                 f"snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
+        if self.keep_snapshots < 1:
+            raise ValueError(
+                f"keep_snapshots must be >= 1, got {self.keep_snapshots}"
             )
 
     @property
@@ -145,6 +166,39 @@ class CheckpointConfig:
     def snapshot_path(self) -> str:
         name = _SNAPSHOT_FILE_GZ if self.compress else _SNAPSHOT_FILE
         return os.path.join(os.fspath(self.directory), name)
+
+    def numbered_snapshot_path(self, next_batch_index: int) -> str:
+        """Rotated snapshot filename for ``keep_snapshots > 1`` runs."""
+        suffix = ".npz.gz" if self.compress else ".npz"
+        return os.path.join(
+            os.fspath(self.directory),
+            f"snapshot-{int(next_batch_index):08d}{suffix}",
+        )
+
+    def list_snapshots(self) -> List[Tuple[int, str]]:
+        """Available snapshots, newest first: ``(next_batch_index, path)``.
+
+        Numbered (rotated) snapshots sort by their batch position; the
+        legacy single ``snapshot.npz`` sorts last (position ``-1``) so a
+        run upgraded from ``keep_snapshots=1`` still prefers its newer
+        rotated files.
+        """
+        directory = os.fspath(self.directory)
+        out: List[Tuple[int, str]] = []
+        try:
+            names = os.listdir(directory)
+        except FileNotFoundError:
+            return []
+        pattern = re.compile(r"^snapshot-(\d{8,})\.npz(?:\.gz)?$")
+        for name in names:
+            match = pattern.match(name)
+            if match:
+                out.append((int(match.group(1)), os.path.join(directory, name)))
+        out.sort(reverse=True)
+        for legacy in (_SNAPSHOT_FILE, _SNAPSHOT_FILE_GZ):
+            if legacy in names:
+                out.append((-1, os.path.join(directory, legacy)))
+        return out
 
 
 @dataclass(frozen=True)
@@ -184,6 +238,13 @@ class StreamSummary:
     continuation, not the batches already folded into the restored
     snapshot.  ``final_cover`` is the maintained cover mask itself
     (excluded from ``summary()``; written by ``--cover-out``).
+
+    ``ingest_s``/``repair_s``/``resolve_s`` split the wall clock so shard
+    speedups are attributable: time spent getting updates into the engine
+    (routing, WAL commits, scatter), time spent applying/repairing/pruning
+    (the incremental path), and time spent in triggered full re-solves.
+    The three do not sum to ``elapsed_s`` — verification, snapshots and
+    bookkeeping are outside all three buckets.
     """
 
     num_updates: int
@@ -198,6 +259,9 @@ class StreamSummary:
     records: List[StreamRecord] = field(repr=False, default_factory=list)
     final_cover: Optional[np.ndarray] = field(repr=False, default=None)
     resumed_from_batch: Optional[int] = None
+    ingest_s: float = 0.0
+    repair_s: float = 0.0
+    resolve_s: float = 0.0
 
     def summary(self) -> dict:
         """Scalar JSON-friendly summary (the ``repro stream`` footer)."""
@@ -211,15 +275,33 @@ class StreamSummary:
             "final_certified_ratio": self.final_certified_ratio,
             "final_is_cover": self.final_is_cover,
             "elapsed_s": round(self.elapsed_s, 6),
+            "ingest_s": round(self.ingest_s, 6),
+            "repair_s": round(self.repair_s, 6),
+            "resolve_s": round(self.resolve_s, 6),
         }
         if self.resumed_from_batch is not None:
             row["resumed_from_batch"] = self.resumed_from_batch
         return row
 
 
+def _compact_wal_in_place(
+    checkpoint: CheckpointConfig, wal: WriteAheadLog, retained_floor: int
+) -> WriteAheadLog:
+    """Compact the live WAL below ``retained_floor``; returns the new handle.
+
+    The engine's append handle points at the pre-rewrite inode, so it is
+    closed around the atomic rewrite and a fresh one opened on the new
+    file.  Shared by the monolithic and sharded engines.
+    """
+    wal.close()
+    compact_wal(checkpoint.wal_path, retained_floor, fsync=checkpoint.fsync)
+    return WriteAheadLog(checkpoint.wal_path, fsync=checkpoint.fsync)
+
+
 def _batches(updates: Sequence[GraphUpdate], size: int) -> Iterable[List[GraphUpdate]]:
-    for i in range(0, len(updates), size):
-        yield list(updates[i : i + size])
+    from repro.dynamic.ingest import iter_update_batches
+
+    return iter_update_batches(updates, size)
 
 
 class _StreamEngine:
@@ -258,6 +340,9 @@ class _StreamEngine:
         self.cache_hits = 0
         self.batches_since = 0
         self.updates_applied = 0
+        self.ingest_s = 0.0
+        self.repair_s = 0.0
+        self.resolve_s = 0.0
 
     # -- state restored from a snapshot's extra counters ---------------- #
     def restore_counters(self, extra: dict) -> None:
@@ -276,6 +361,7 @@ class _StreamEngine:
     # -- the solve path -------------------------------------------------- #
     def resolve(self) -> bool:
         """Full re-solve through the service; returns cache-hit flag."""
+        t0 = time.perf_counter()
         graph = self.maintainer.dyn.compact()
         request = SolveRequest(
             graph=graph, eps=self.eps, seed=self.seed, engine=self.engine
@@ -286,30 +372,50 @@ class _StreamEngine:
         self.maintainer.adopt(result.result, graph=graph)
         self.num_resolves += 1
         self.cache_hits += int(result.cache_hit)
+        self.resolve_s += time.perf_counter() - t0
         return result.cache_hit
 
     # -- durability ------------------------------------------------------ #
     def write_snapshot(self, next_batch_index: int) -> None:
         if self.checkpoint is None:
             return
+        checkpoint = self.checkpoint
+        if checkpoint.keep_snapshots == 1:
+            path = checkpoint.snapshot_path
+        else:
+            path = checkpoint.numbered_snapshot_path(next_batch_index)
         save_snapshot(
-            self.checkpoint.snapshot_path,
+            path,
             self.maintainer,
             extra=self.counters(next_batch_index),
-            fsync=self.checkpoint.fsync,
+            fsync=checkpoint.fsync,
         )
+        retained_floor = next_batch_index
+        if checkpoint.keep_snapshots > 1:
+            snapshots = checkpoint.list_snapshots()
+            numbered = [(i, p) for i, p in snapshots if i >= 0]
+            for _, stale in numbered[checkpoint.keep_snapshots :]:
+                os.remove(stale)
+            retained = numbered[: checkpoint.keep_snapshots]
+            if retained:
+                retained_floor = min(i for i, _ in retained)
+        if checkpoint.compact_wal and self.wal is not None:
+            self.wal = _compact_wal_in_place(checkpoint, self.wal, retained_floor)
 
     # -- one batch ------------------------------------------------------- #
     def process_batch(
         self, index: int, batch: List[GraphUpdate], *, log_to_wal: bool
     ) -> StreamRecord:
         if log_to_wal and self.wal is not None:
+            t_wal = time.perf_counter()
             digest = ""
             if self.checkpoint is not None and self.checkpoint.stamp_digests:
                 digest = self.maintainer.dyn.content_digest()
             self.wal.append(index, batch, state_digest=digest)
+            self.ingest_s += time.perf_counter() - t_wal
         t0 = time.perf_counter()
         report = self.maintainer.apply_batch(batch)
+        self.repair_s += time.perf_counter() - t0
         self.updates_applied += len(batch)
         self.batches_since += 1
         decision = self.policy.should_resolve(
@@ -365,6 +471,9 @@ class _StreamEngine:
             records=self.records,
             final_cover=self.maintainer.cover,
             resumed_from_batch=resumed_from_batch,
+            ingest_s=self.ingest_s,
+            repair_s=self.repair_s,
+            resolve_s=self.resolve_s,
         )
 
 
@@ -380,6 +489,7 @@ def _write_config(
     engine: str,
     verify_every: int,
     compact_fraction: float,
+    extra_config: Optional[dict] = None,
 ) -> None:
     config = {
         "format_version": CONFIG_FORMAT_VERSION,
@@ -394,10 +504,13 @@ def _write_config(
         "fsync": bool(checkpoint.fsync),
         "stamp_digests": bool(checkpoint.stamp_digests),
         "compress": bool(checkpoint.compress),
+        "keep_snapshots": int(checkpoint.keep_snapshots),
+        "compact_wal": bool(checkpoint.compact_wal),
         "num_updates": len(updates),
         "graph_digest": graph.content_digest(),
         "snapshot_file": os.path.basename(checkpoint.snapshot_path),
     }
+    config.update(extra_config or {})
     write_bytes_atomic(
         checkpoint.config_path,
         (json.dumps(config, indent=2, sort_keys=True) + "\n").encode("utf-8"),
@@ -535,6 +648,82 @@ def run_stream(
     )
 
 
+def _resume_setup(
+    directory: PathLike,
+    config: dict,
+    updates: Optional[Sequence[GraphUpdate]],
+):
+    """Rebuild the run context every resume path needs from ``config``.
+
+    Shared by :func:`resume_stream` and
+    :func:`repro.dynamic.sharded.resume_sharded_stream` so a new
+    :class:`CheckpointConfig` knob is threaded through exactly once.
+    Returns ``(checkpoint, policy, batch_size, updates, wal_records)``
+    with the WAL's torn tail already repaired.
+    """
+    checkpoint = CheckpointConfig(
+        directory=directory,
+        snapshot_every=int(config["snapshot_every"]),
+        fsync=bool(config.get("fsync", True)),
+        compress=bool(config.get("compress", False)),
+        stamp_digests=bool(config.get("stamp_digests", True)),
+        keep_snapshots=int(config.get("keep_snapshots", 1)),
+        compact_wal=bool(config.get("compact_wal", False)),
+    )
+    policy = ResolvePolicy(**config["policy"])
+    batch_size = int(config["batch_size"])
+
+    if updates is None:
+        try:
+            updates = load_update_stream(checkpoint.updates_path)
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"checkpoint {os.fspath(directory)} has no stored update "
+                f"stream ({_UPDATES_FILE}); pass the stream explicitly"
+            ) from None
+    if len(updates) != int(config["num_updates"]):
+        raise CheckpointError(
+            f"update stream length {len(updates)} does not match the "
+            f"checkpointed run's {config['num_updates']}"
+        )
+
+    repair_wal(checkpoint.wal_path)
+    wal_records, _ = read_wal(checkpoint.wal_path)
+    return checkpoint, policy, batch_size, updates, wal_records
+
+
+def _newest_intact(snapshots, load_fn, directory: PathLike):
+    """Load the newest snapshot that passes integrity checks.
+
+    The shared fallback policy of both snapshot flavors: with
+    ``keep_snapshots > 1`` a corrupt newest snapshot falls back to the
+    next older one — that is what retaining history is *for*.  When every
+    present snapshot is corrupt the aggregate corruption error is raised
+    (a damaged checkpoint must fail loudly, never silently cold-start
+    past it); version errors always raise immediately.  ``None`` when no
+    snapshots exist.
+    """
+    if not snapshots:
+        return None
+    last_error: Optional[CheckpointCorruptionError] = None
+    for _, path in snapshots:
+        try:
+            return load_fn(path)
+        except CheckpointCorruptionError as exc:
+            last_error = exc
+    raise CheckpointCorruptionError(
+        f"all {len(snapshots)} snapshot(s) in {os.fspath(directory)} "
+        f"failed integrity checks; newest error: {last_error}"
+    )
+
+
+def _restore_latest_snapshot(checkpoint: CheckpointConfig):
+    """Newest intact monolithic snapshot, or ``None`` when none exist."""
+    return _newest_intact(
+        checkpoint.list_snapshots(), load_snapshot, checkpoint.directory
+    )
+
+
 def _load_config(checkpoint: CheckpointConfig) -> dict:
     try:
         with open(checkpoint.config_path, "r", encoding="utf-8") as fh:
@@ -600,34 +789,17 @@ def resume_stream(
         WAL, a WAL gap the snapshot cannot bridge, or a stream/WAL state
         mismatch).
     """
-    checkpoint = CheckpointConfig(directory=directory)
-    config = _load_config(checkpoint)
-    checkpoint = CheckpointConfig(
-        directory=directory,
-        snapshot_every=int(config["snapshot_every"]),
-        fsync=bool(config.get("fsync", True)),
-        compress=bool(config.get("compress", False)),
-        stamp_digests=bool(config.get("stamp_digests", True)),
-    )
-    policy = ResolvePolicy(**config["policy"])
-    batch_size = int(config["batch_size"])
-
-    if updates is None:
-        try:
-            updates = load_update_stream(checkpoint.updates_path)
-        except FileNotFoundError:
-            raise CheckpointError(
-                f"checkpoint {os.fspath(directory)} has no stored update "
-                f"stream ({_UPDATES_FILE}); pass the stream explicitly"
-            ) from None
-    if len(updates) != int(config["num_updates"]):
+    config = _load_config(CheckpointConfig(directory=directory))
+    if "shards" in config:
         raise CheckpointError(
-            f"update stream length {len(updates)} does not match the "
-            f"checkpointed run's {config['num_updates']}"
+            f"checkpoint {os.fspath(directory)} holds a sharded stream "
+            f"({config['shards']} shard(s)); resume it with "
+            f"repro.dynamic.sharded.resume_sharded_stream (the `repro "
+            f"resume` CLI dispatches automatically)"
         )
-
-    repair_wal(checkpoint.wal_path)
-    wal_records, _ = read_wal(checkpoint.wal_path)
+    checkpoint, policy, batch_size, updates, wal_records = _resume_setup(
+        directory, config, updates
+    )
 
     own_solver = solver is None
     if own_solver:
@@ -635,8 +807,8 @@ def resume_stream(
     start = time.perf_counter()
     wal = None
     try:
-        if os.path.exists(checkpoint.snapshot_path):
-            restored = load_snapshot(checkpoint.snapshot_path)
+        restored = _restore_latest_snapshot(checkpoint)
+        if restored is not None:
             maintainer = restored.maintainer
             restored.dyn.compact_fraction = float(config["compact_fraction"])
             extra = restored.meta.get("extra", {})

@@ -45,6 +45,7 @@ __all__ = [
     "WALCorruptionError",
     "WALRecord",
     "WriteAheadLog",
+    "compact_wal",
     "read_wal",
     "repair_wal",
 ]
@@ -253,6 +254,49 @@ def read_wal(path: PathLike) -> Tuple[List[WALRecord], bool]:
         last_index = record.batch_index
         records.append(record)
     return records, torn
+
+
+def compact_wal(path: PathLike, min_batch_index: int, *, fsync: bool = True) -> int:
+    """Drop WAL records with ``batch_index < min_batch_index``; atomic.
+
+    An unbounded stream otherwise grows its log forever: once a snapshot
+    covers every batch up to ``k``, the records before ``k`` can never be
+    replayed again (recovery always starts at a retained snapshot).  The
+    caller picks ``min_batch_index`` as the *oldest retained* snapshot's
+    position — compacting past a newer snapshot would strand the older
+    ones.
+
+    The log is rewritten through a temp file + rename, so a crash
+    mid-compaction leaves either the old or the new log, both valid.  A
+    torn tail (crash mid-append) is dropped, exactly as
+    :func:`repair_wal` would.  Returns the number of records removed.
+
+    Raises
+    ------
+    WALCorruptionError
+        If a committed record is damaged — a corrupt log must be
+        inspected, not silently rewritten.
+    """
+    try:
+        records, torn = read_wal(path)
+    except WALError:
+        raise
+    keep = [r for r in records if r.batch_index >= int(min_batch_index)]
+    if len(keep) == len(records) and not torn:
+        return 0
+    lines = []
+    for record in keep:
+        payload = record.to_payload()
+        payload["crc"] = _crc(payload)
+        lines.append(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+    data = ("".join(line + "\n" for line in lines)).encode("utf-8")
+    from repro.graphs.io import write_bytes_atomic
+
+    try:
+        write_bytes_atomic(path, data, fsync=fsync)
+    except OSError as exc:
+        raise WALError(f"cannot compact WAL {os.fspath(path)}: {exc}") from exc
+    return len(records) - len(keep)
 
 
 def repair_wal(path: PathLike) -> bool:

@@ -39,6 +39,7 @@ __all__ = [
     "update_to_json",
     "update_from_json",
     "save_update_stream",
+    "save_update_stream_segments",
     "load_update_stream",
 ]
 
@@ -118,6 +119,46 @@ def save_update_stream(updates: Iterable[GraphUpdate], path: PathLike) -> None:
         for upd in updates:
             fh.write(json.dumps(update_to_json(upd)))
             fh.write("\n")
+
+
+def save_update_stream_segments(
+    updates: Iterable[GraphUpdate],
+    directory: PathLike,
+    *,
+    segment_size: int = 10_000,
+    compress: bool = False,
+) -> List[str]:
+    """Write a stream as numbered JSON-lines segment files in ``directory``.
+
+    Segments are named ``part-00000.jsonl`` (``.jsonl.gz`` with
+    ``compress``) and hold ``segment_size`` events each; the lexicographic
+    filename order is the stream order, which is how
+    :class:`repro.dynamic.ingest.DirectorySource` reads them back.
+    Returns the written paths.
+    """
+    if segment_size < 1:
+        raise ValueError(f"segment_size must be >= 1, got {segment_size}")
+    os.makedirs(os.fspath(directory), exist_ok=True)
+    suffix = ".jsonl.gz" if compress else ".jsonl"
+    paths: List[str] = []
+    chunk: List[GraphUpdate] = []
+
+    def flush():
+        if not chunk:
+            return
+        path = os.path.join(
+            os.fspath(directory), f"part-{len(paths):05d}{suffix}"
+        )
+        save_update_stream(chunk, path)
+        paths.append(path)
+        chunk.clear()
+
+    for upd in updates:
+        chunk.append(upd)
+        if len(chunk) >= segment_size:
+            flush()
+    flush()
+    return paths
 
 
 def load_update_stream(source: Union[PathLike, IO[str], Iterable[str]]) -> List[GraphUpdate]:

@@ -1,0 +1,146 @@
+"""Tests for the ingestion layer: update sources and the partition router."""
+
+import gzip
+import os
+
+import numpy as np
+import pytest
+
+from repro.dynamic.ingest import (
+    DirectorySource,
+    FileSource,
+    IterableSource,
+    MemorySource,
+    UpdateRouter,
+    iter_update_batches,
+    open_update_source,
+)
+from repro.graphs.updates import (
+    EdgeDelete,
+    EdgeInsert,
+    WeightChange,
+    save_update_stream,
+    save_update_stream_segments,
+)
+from repro.mpc.partition import range_partition
+
+UPDATES = [
+    EdgeInsert(0, 1),
+    WeightChange(2, 5.0),
+    EdgeDelete(1, 3),
+    EdgeInsert(3, 2),
+    EdgeDelete(0, 1),
+]
+
+
+class TestSources:
+    def test_memory_source(self):
+        src = MemorySource(UPDATES)
+        assert src.count() == 5
+        assert list(src) == UPDATES
+        assert src.collect() == UPDATES
+
+    def test_file_source_plain_and_gz(self, tmp_path):
+        plain = tmp_path / "u.jsonl"
+        gz = tmp_path / "u.jsonl.gz"
+        save_update_stream(UPDATES, plain)
+        save_update_stream(UPDATES, gz)
+        assert list(FileSource(plain)) == UPDATES
+        assert list(FileSource(gz)) == UPDATES
+
+    def test_directory_source_reads_segments_in_order(self, tmp_path):
+        paths = save_update_stream_segments(UPDATES, tmp_path, segment_size=2)
+        assert [os.path.basename(p) for p in paths] == [
+            "part-00000.jsonl",
+            "part-00001.jsonl",
+            "part-00002.jsonl",
+        ]
+        assert list(DirectorySource(tmp_path)) == UPDATES
+
+    def test_directory_source_gz_segments(self, tmp_path):
+        save_update_stream_segments(
+            UPDATES, tmp_path, segment_size=3, compress=True
+        )
+        assert list(DirectorySource(tmp_path)) == UPDATES
+
+    def test_directory_source_sorts_segments_numerically(self, tmp_path):
+        """Unpadded (or padding-overflowed) segment numbers must replay in
+        numeric order, not lexicographic (part-10 after part-2)."""
+        save_update_stream(UPDATES[:2], tmp_path / "part-2.jsonl")
+        save_update_stream(UPDATES[2:], tmp_path / "part-10.jsonl")
+        assert list(DirectorySource(tmp_path)) == UPDATES
+
+    def test_directory_with_no_matching_segments_raises(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hello")
+        with pytest.raises(ValueError, match="no segments"):
+            list(DirectorySource(tmp_path))
+
+    def test_empty_directory_is_empty_stream(self, tmp_path):
+        assert list(DirectorySource(tmp_path)) == []
+
+    def test_open_update_source_coercions(self, tmp_path):
+        path = tmp_path / "u.jsonl"
+        save_update_stream(UPDATES, path)
+        assert isinstance(open_update_source(UPDATES), MemorySource)
+        assert isinstance(open_update_source(str(path)), FileSource)
+        assert isinstance(open_update_source(tmp_path), DirectorySource)
+        assert isinstance(open_update_source(iter(UPDATES)), IterableSource)
+        src = MemorySource(UPDATES)
+        assert open_update_source(src) is src
+        with pytest.raises(TypeError):
+            open_update_source(42)
+
+    def test_iter_update_batches(self):
+        batches = list(iter_update_batches(UPDATES, 2))
+        assert [len(b) for b in batches] == [2, 2, 1]
+        assert [u for b in batches for u in b] == UPDATES
+        with pytest.raises(ValueError):
+            list(iter_update_batches(UPDATES, 0))
+
+
+class TestRouter:
+    def setup_method(self):
+        # 6 vertices, shard 0 owns {0,1,2}, shard 1 owns {3,4,5}.
+        self.router = UpdateRouter(range_partition(6, 2), 2)
+
+    def test_internal_edge_goes_to_one_shard(self):
+        routed = self.router.route([EdgeInsert(0, 2)])
+        assert routed.slices[0] == [(0, "i", 0, 2)]
+        assert routed.slices[1] == []
+
+    def test_cut_edge_goes_to_both_owners(self):
+        routed = self.router.route([EdgeDelete(4, 1)])
+        # endpoints canonicalized to (1, 4)
+        assert routed.slices[0] == [(0, "d", 1, 4)]
+        assert routed.slices[1] == [(0, "d", 1, 4)]
+
+    def test_reweight_broadcast_to_all_shards(self):
+        routed = self.router.route([WeightChange(5, 2.5)])
+        assert routed.slices[0] == [(0, "w", 5, 2.5)]
+        assert routed.slices[1] == [(0, "w", 5, 2.5)]
+
+    def test_slices_preserve_stream_order_with_global_seq(self):
+        routed = self.router.route(
+            [EdgeInsert(0, 1), EdgeInsert(3, 4), EdgeInsert(2, 5)],
+            base_seq=10,
+        )
+        assert routed.slices[0] == [(10, "i", 0, 1), (12, "i", 2, 5)]
+        assert routed.slices[1] == [(11, "i", 3, 4), (12, "i", 2, 5)]
+        assert routed.num_events == 3
+
+    def test_out_of_range_endpoints_raise(self):
+        with pytest.raises(ValueError, match="out of range"):
+            self.router.route([EdgeInsert(0, 6)])
+        with pytest.raises(ValueError, match="out of range"):
+            self.router.route([WeightChange(-1, 1.0)])
+
+    def test_owner_and_home(self):
+        assert self.router.owner(2) == 0
+        assert self.router.owner(3) == 1
+        assert self.router.home(4, 1) == 0  # min endpoint 1 is shard 0's
+
+    def test_bad_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateRouter(np.array([0, 5]), 2)
+        with pytest.raises(ValueError):
+            UpdateRouter(np.array([0, 1]), 0)

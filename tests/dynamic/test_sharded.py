@@ -1,0 +1,228 @@
+"""Differential equivalence of the sharded pipeline vs the monolithic engine.
+
+The contract under test: for *any* update stream, shard count, and
+partition scheme, ``run_sharded_stream`` produces bit-identical covers,
+duals, certificates, and per-batch reports to ``run_stream`` — not merely
+statistically similar ones.  ``--shards 1`` is the degenerate case the
+acceptance criteria call out explicitly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.policy import ResolvePolicy
+from repro.dynamic.sharded import run_sharded_stream
+from repro.dynamic.stream import run_stream
+from repro.graphs.generators import gnp_average_degree
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.streams import CHURN_MODELS, make_update_stream
+from repro.graphs.updates import EdgeDelete, EdgeInsert, WeightChange
+from repro.graphs.weights import uniform_weights
+
+EPS = 0.1
+SEED = 4
+
+
+def _workload(n=160, degree=6.0, seed=11):
+    g = gnp_average_degree(n, degree, seed=seed)
+    return g.with_weights(uniform_weights(g.n, 1.0, 10.0, seed=seed + 1))
+
+
+def _assert_equivalent(reference, sharded):
+    """Bit-exact equality of everything observable."""
+    assert np.array_equal(reference.final_cover, sharded.final_cover)
+    assert reference.final_cover_weight == sharded.final_cover_weight
+    assert reference.final_dual_value == sharded.final_dual_value
+    assert reference.final_certified_ratio == sharded.final_certified_ratio
+    assert sharded.final_is_cover
+    assert reference.num_batches == sharded.num_batches
+    assert reference.num_resolves == sharded.num_resolves
+    for ref_rec, got_rec in zip(reference.records, sharded.records):
+        assert ref_rec.report.to_dict() == got_rec.report.to_dict()
+        assert ref_rec.resolved == got_rec.resolved
+        assert ref_rec.resolve_reason == got_rec.resolve_reason
+
+
+class TestDifferentialEquivalence:
+    @pytest.mark.parametrize("churn", CHURN_MODELS)
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_every_churn_model_every_shard_count(self, churn, num_shards):
+        graph = _workload()
+        updates = make_update_stream(churn, graph, 500, seed=21)
+        reference = run_stream(graph, updates, batch_size=50, eps=EPS, seed=SEED)
+        sharded = run_sharded_stream(
+            graph,
+            updates,
+            num_shards=num_shards,
+            batch_size=50,
+            eps=EPS,
+            seed=SEED,
+            use_processes=False,
+        )
+        _assert_equivalent(reference, sharded)
+        # Acceptance criterion: valid duality certificate.
+        assert (
+            sharded.records[-1].report.certificate.opt_lower_bound
+            <= sharded.final_cover_weight + 1e-9
+        )
+
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    def test_partition_schemes(self, partition):
+        graph = _workload(n=120, seed=31)
+        updates = make_update_stream("uniform", graph, 300, seed=32)
+        reference = run_stream(graph, updates, batch_size=30, eps=EPS, seed=SEED)
+        sharded = run_sharded_stream(
+            graph,
+            updates,
+            num_shards=3,
+            partition=partition,
+            batch_size=30,
+            eps=EPS,
+            seed=SEED,
+            use_processes=False,
+        )
+        _assert_equivalent(reference, sharded)
+
+    def test_with_resolves_and_warm_cache(self):
+        """Every-batch re-solves route through the shared service path."""
+        graph = _workload(n=100, seed=41)
+        updates = make_update_stream("sliding_window", graph, 200, seed=42)
+        policy = ResolvePolicy(every_batch=True)
+        reference = run_stream(
+            graph, updates, batch_size=25, policy=policy, eps=EPS, seed=SEED
+        )
+        sharded = run_sharded_stream(
+            graph,
+            updates,
+            num_shards=2,
+            batch_size=25,
+            policy=policy,
+            eps=EPS,
+            seed=SEED,
+            use_processes=False,
+        )
+        _assert_equivalent(reference, sharded)
+        assert sharded.num_resolves == reference.num_resolves
+
+    def test_process_mode_matches_inline(self):
+        """One process per shard computes the same covers as inline mode."""
+        graph = _workload(n=80, seed=51)
+        updates = make_update_stream("hub", graph, 150, seed=52)
+        inline = run_sharded_stream(
+            graph, updates, num_shards=2, batch_size=30,
+            eps=EPS, seed=SEED, use_processes=False,
+        )
+        pooled = run_sharded_stream(
+            graph, updates, num_shards=2, batch_size=30,
+            eps=EPS, seed=SEED, use_processes=True,
+        )
+        _assert_equivalent(inline, pooled)
+
+    def test_more_shards_than_vertices(self):
+        graph = WeightedGraph(3, [0, 1], [1, 2], [1.0, 2.0, 3.0])
+        updates = [EdgeInsert(0, 2), EdgeDelete(0, 1), WeightChange(1, 0.5)]
+        reference = run_stream(graph, updates, batch_size=2, eps=EPS, seed=SEED)
+        sharded = run_sharded_stream(
+            graph, updates, num_shards=8, batch_size=2,
+            eps=EPS, seed=SEED, use_processes=False,
+        )
+        _assert_equivalent(reference, sharded)
+
+
+class TestEdgeCases:
+    def test_edgeless_graph(self):
+        graph = WeightedGraph(5, [], [], np.ones(5))
+        updates = [EdgeInsert(0, 1), EdgeInsert(2, 3), EdgeDelete(0, 1)]
+        reference = run_stream(graph, updates, batch_size=2, eps=EPS, seed=SEED)
+        sharded = run_sharded_stream(
+            graph, updates, num_shards=2, batch_size=2,
+            eps=EPS, seed=SEED, use_processes=False,
+        )
+        _assert_equivalent(reference, sharded)
+
+    def test_empty_update_stream(self):
+        graph = _workload(n=40, seed=61)
+        reference = run_stream(graph, [], batch_size=4, eps=EPS, seed=SEED)
+        sharded = run_sharded_stream(
+            graph, [], num_shards=2, batch_size=4,
+            eps=EPS, seed=SEED, use_processes=False,
+        )
+        assert np.array_equal(reference.final_cover, sharded.final_cover)
+        assert sharded.num_batches == 0
+
+    def test_duplicate_and_noop_events_in_one_batch(self):
+        """Insert/delete/insert of one edge within a batch, plus no-ops."""
+        graph = WeightedGraph(4, [0, 1], [1, 2], [1.0, 5.0, 1.0, 2.0])
+        updates = [
+            EdgeInsert(2, 3),
+            EdgeDelete(2, 3),
+            EdgeInsert(2, 3),
+            EdgeInsert(0, 1),  # no-op: already present
+            EdgeDelete(0, 3),  # no-op: absent
+            WeightChange(1, 5.0),  # no-op: unchanged value
+        ]
+        reference = run_stream(graph, updates, batch_size=6, eps=EPS, seed=SEED)
+        sharded = run_sharded_stream(
+            graph, updates, num_shards=2, partition="range", batch_size=6,
+            eps=EPS, seed=SEED, use_processes=False,
+        )
+        _assert_equivalent(reference, sharded)
+        report = sharded.records[0].report
+        assert report.applied == 3  # insert, delete, re-insert; rest no-op
+        assert report.inserts == 2 and report.deletes == 1
+
+    def test_self_loop_insert_raises(self):
+        graph = _workload(n=20, seed=71)
+        with pytest.raises(ValueError, match="self-loop"):
+            run_sharded_stream(
+                graph, [EdgeInsert(3, 3)], num_shards=2, batch_size=1,
+                eps=EPS, seed=SEED, use_processes=False,
+            )
+
+    def test_invalid_weight_raises(self):
+        graph = _workload(n=20, seed=72)
+        with pytest.raises(ValueError, match="finite and > 0"):
+            run_sharded_stream(
+                graph, [WeightChange(0, -1.0)], num_shards=2, batch_size=1,
+                eps=EPS, seed=SEED, use_processes=False,
+            )
+
+    def test_out_of_range_vertex_raises(self):
+        graph = _workload(n=20, seed=73)
+        with pytest.raises(ValueError, match="out of range"):
+            run_sharded_stream(
+                graph, [EdgeInsert(0, 99)], num_shards=2, batch_size=1,
+                eps=EPS, seed=SEED, use_processes=False,
+            )
+
+    def test_shards_must_be_positive(self):
+        graph = _workload(n=20, seed=74)
+        with pytest.raises(ValueError, match="num_shards"):
+            run_sharded_stream(
+                graph, [], num_shards=0, batch_size=1,
+                eps=EPS, seed=SEED, use_processes=False,
+            )
+
+    def test_directory_source_accepted(self, tmp_path):
+        from repro.graphs.updates import save_update_stream_segments
+
+        graph = _workload(n=60, seed=75)
+        updates = make_update_stream("uniform", graph, 120, seed=76)
+        save_update_stream_segments(updates, tmp_path, segment_size=50)
+        reference = run_stream(graph, updates, batch_size=40, eps=EPS, seed=SEED)
+        sharded = run_sharded_stream(
+            graph, tmp_path, num_shards=2, batch_size=40,
+            eps=EPS, seed=SEED, use_processes=False,
+        )
+        _assert_equivalent(reference, sharded)
+
+    def test_timing_split_reported(self):
+        graph = _workload(n=60, seed=77)
+        updates = make_update_stream("uniform", graph, 100, seed=78)
+        summary = run_sharded_stream(
+            graph, updates, num_shards=2, batch_size=25,
+            eps=EPS, seed=SEED, use_processes=False,
+        )
+        row = summary.summary()
+        assert {"ingest_s", "repair_s", "resolve_s"} <= set(row)
+        assert row["repair_s"] >= 0.0 and row["resolve_s"] > 0.0

@@ -1,0 +1,177 @@
+"""Snapshot rotation (``keep_snapshots``) and WAL compaction."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.dynamic import (
+    CheckpointConfig,
+    CheckpointCorruptionError,
+    ResolvePolicy,
+    compact_wal,
+    read_wal,
+    resume_stream,
+    run_stream,
+)
+from repro.dynamic.checkpoint import snapshot_meta
+
+from tests.recovery.harness import make_batches, make_workload
+
+BATCH_SIZE = 20
+EPS = 0.1
+SEED = 4
+
+
+def _run(tmp_path, **checkpoint_kwargs):
+    graph = make_workload(n=100, seed=17)
+    batches = make_batches(graph, "uniform", 10, BATCH_SIZE, seed=19)
+    updates = [u for b in batches for u in b]
+    checkpoint = CheckpointConfig(
+        directory=tmp_path / "ckpt", snapshot_every=2, **checkpoint_kwargs
+    )
+    summary = run_stream(
+        graph,
+        updates,
+        batch_size=BATCH_SIZE,
+        policy=ResolvePolicy(max_drift=0.2),
+        eps=EPS,
+        seed=SEED,
+        checkpoint=checkpoint,
+    )
+    return graph, updates, summary, checkpoint
+
+
+def _snapshot_files(checkpoint):
+    return sorted(
+        name
+        for name in os.listdir(checkpoint.directory)
+        if name.startswith("snapshot")
+    )
+
+
+class TestRotation:
+    def test_keep_one_is_the_legacy_single_file(self, tmp_path):
+        _, _, _, checkpoint = _run(tmp_path)  # default keep_snapshots=1
+        assert _snapshot_files(checkpoint) == ["snapshot.npz"]
+
+    def test_keep_k_retains_last_k_numbered(self, tmp_path):
+        _, _, _, checkpoint = _run(tmp_path, keep_snapshots=3)
+        files = _snapshot_files(checkpoint)
+        assert len(files) == 3
+        # Snapshots at batches 0,2,4,6,8,10 → the last three survive.
+        assert files == [
+            "snapshot-00000006.npz",
+            "snapshot-00000008.npz",
+            "snapshot-00000010.npz",
+        ]
+
+    def test_resume_uses_newest_snapshot(self, tmp_path):
+        _, _, reference, checkpoint = _run(tmp_path, keep_snapshots=3)
+        resumed = resume_stream(checkpoint.directory)
+        assert resumed.resumed_from_batch == 10
+        assert np.array_equal(resumed.final_cover, reference.final_cover)
+
+    def test_corrupt_newest_falls_back_to_older(self, tmp_path):
+        _, _, reference, checkpoint = _run(tmp_path, keep_snapshots=3)
+        newest = os.path.join(
+            os.fspath(checkpoint.directory), "snapshot-00000010.npz"
+        )
+        data = bytearray(open(newest, "rb").read())
+        mid = len(data) // 2
+        for i in range(mid, mid + 8):
+            data[i] ^= 0xFF
+        with open(newest, "wb") as fh:
+            fh.write(bytes(data))
+        resumed = resume_stream(checkpoint.directory)
+        # Fell back to the batch-8 snapshot and replayed the WAL tail.
+        assert resumed.resumed_from_batch == 8
+        assert np.array_equal(resumed.final_cover, reference.final_cover)
+
+    def test_all_corrupt_raises(self, tmp_path):
+        _, _, _, checkpoint = _run(tmp_path, keep_snapshots=2)
+        for name in _snapshot_files(checkpoint):
+            path = os.path.join(os.fspath(checkpoint.directory), name)
+            with open(path, "r+b") as fh:
+                fh.seek(20)
+                fh.write(b"\xff" * 16)
+        with pytest.raises(CheckpointCorruptionError, match="failed integrity"):
+            resume_stream(checkpoint.directory)
+
+    def test_keep_snapshots_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_snapshots"):
+            CheckpointConfig(directory=tmp_path, keep_snapshots=0)
+
+
+class TestWalCompaction:
+    def test_compact_drops_only_covered_records(self, tmp_path):
+        _, _, _, checkpoint = _run(tmp_path)
+        records, _ = read_wal(checkpoint.wal_path)
+        assert len(records) == 10
+        removed = compact_wal(checkpoint.wal_path, 6)
+        assert removed == 6
+        remaining, torn = read_wal(checkpoint.wal_path)
+        assert not torn
+        assert [r.batch_index for r in remaining] == [6, 7, 8, 9]
+        # Idempotent: nothing more to drop.
+        assert compact_wal(checkpoint.wal_path, 6) == 0
+
+    def test_resume_after_offline_compaction_is_exact(self, tmp_path):
+        _, _, reference, checkpoint = _run(tmp_path)
+        # The single snapshot sits at batch 10 (stream end); everything
+        # below it is dead weight.
+        floor = int(
+            snapshot_meta(checkpoint.snapshot_path)["extra"]["next_batch_index"]
+        )
+        compact_wal(checkpoint.wal_path, floor)
+        resumed = resume_stream(checkpoint.directory)
+        assert np.array_equal(resumed.final_cover, reference.final_cover)
+
+    def test_auto_compaction_bounds_the_log(self, tmp_path):
+        _, _, _, checkpoint = _run(
+            tmp_path, keep_snapshots=2, compact_wal=True
+        )
+        records, _ = read_wal(checkpoint.wal_path)
+        # Retained snapshots are batches 8 and 10 → only batches >= 8 stay.
+        assert [r.batch_index for r in records] == [8, 9]
+
+    def test_auto_compaction_resume_is_exact(self, tmp_path):
+        graph, updates, reference, checkpoint = _run(
+            tmp_path, keep_snapshots=2, compact_wal=True
+        )
+        resumed = resume_stream(checkpoint.directory)
+        assert np.array_equal(resumed.final_cover, reference.final_cover)
+        assert resumed.final_certified_ratio == reference.final_certified_ratio
+
+    def test_missing_wal_is_noop(self, tmp_path):
+        assert compact_wal(tmp_path / "absent.jsonl", 5) == 0
+        assert not os.path.exists(tmp_path / "absent.jsonl")
+
+
+class TestWalCompactCLI:
+    def test_cli_verb(self, tmp_path):
+        from repro.cli import main
+
+        _, _, _, checkpoint = _run(tmp_path, keep_snapshots=2)
+        records, _ = read_wal(checkpoint.wal_path)
+        assert len(records) == 10
+        rc = main(
+            ["wal-compact", "--checkpoint-dir", os.fspath(checkpoint.directory)]
+        )
+        assert rc == 0
+        remaining, _ = read_wal(checkpoint.wal_path)
+        assert [r.batch_index for r in remaining] == [8, 9]
+
+    def test_cli_verb_without_snapshot_refuses(self, tmp_path):
+        from repro.cli import main
+
+        _, _, _, checkpoint = _run(tmp_path)
+        os.remove(checkpoint.snapshot_path)
+        with pytest.raises(SystemExit, match="no snapshot"):
+            main(
+                [
+                    "wal-compact",
+                    "--checkpoint-dir",
+                    os.fspath(checkpoint.directory),
+                ]
+            )
