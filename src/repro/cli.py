@@ -364,6 +364,7 @@ def _cmd_stream(args) -> int:
                 fsync=not args.no_fsync,
                 keep_snapshots=args.keep_snapshots,
                 compact_wal=args.compact_wal,
+                snapshot_compression=args.snapshot_compression,
             )
         if args.shards < 1:
             raise ValueError(f"--shards must be >= 1, got {args.shards}")
@@ -388,6 +389,7 @@ def _cmd_stream(args) -> int:
                     verify_every=args.verify_every,
                     checkpoint=checkpoint,
                     use_processes=not args.inline_shards,
+                    profile=args.profile,
                 )
             else:
                 summary = run_stream(
@@ -401,6 +403,7 @@ def _cmd_stream(args) -> int:
                     engine=args.engine,
                     verify_every=args.verify_every,
                     checkpoint=checkpoint,
+                    profile=args.profile,
                 )
         except (ValueError, RuntimeError, CheckpointError, WALError) as exc:
             raise SystemExit(str(exc))
@@ -460,10 +463,14 @@ def _cmd_resume(args) -> int:
                     updates=updates,
                     solver=solver,
                     use_processes=not args.inline_shards,
+                    profile=args.profile,
                 )
             else:
                 summary = resume_stream(
-                    args.checkpoint_dir, updates=updates, solver=solver
+                    args.checkpoint_dir,
+                    updates=updates,
+                    solver=solver,
+                    profile=args.profile,
                 )
         except (ValueError, RuntimeError, CheckpointError, WALError) as exc:
             raise SystemExit(str(exc))
@@ -709,6 +716,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="after each snapshot, drop WAL records older than the oldest "
         "retained snapshot so unbounded streams keep a bounded log",
     )
+    stream.add_argument(
+        "--snapshot-compression", default="gzip", choices=["gzip", "none"],
+        help="compression of snapshot NPZ members (with --checkpoint-dir): "
+        "'gzip' (smaller files) or 'none' (faster writes — deflate "
+        "dominates snapshot cost on large graphs)",
+    )
+    stream.add_argument(
+        "--profile", action="store_true",
+        help="emit the per-batch kernel timing breakdown (repair / prune / "
+        "adjacency / certificate) in every record and the summary",
+    )
     stream.set_defaults(func=_cmd_stream)
 
     resume = sub.add_parser(
@@ -744,6 +762,11 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument(
         "--inline-shards", action="store_true",
         help="for sharded checkpoints: run shard workers in-process",
+    )
+    resume.add_argument(
+        "--profile", action="store_true",
+        help="emit the per-batch kernel timing breakdown in every record "
+        "and the summary",
     )
     resume.set_defaults(func=_cmd_resume)
 

@@ -27,7 +27,11 @@ certificate drifts past a policy bound:
 :mod:`repro.dynamic.wal`
     Append-only, checksummed write-ahead log of applied update batches.
 :mod:`repro.dynamic.repair`
-    The shared repair/prune/certification kernels both engines run.
+    The shared repair/prune/certification kernels both engines run —
+    vectorized array passes plus the ``_reference_*`` executable specs.
+:mod:`repro.dynamic.duals`
+    :class:`DualStore` — array-backed per-edge duals keyed by encoded
+    ``int64`` edge codes.
 :mod:`repro.dynamic.ingest`
     Pluggable update sources (file / directory segments / memory) and the
     partition-aware :class:`~repro.dynamic.ingest.UpdateRouter`.
@@ -49,8 +53,13 @@ from repro.dynamic.checkpoint import (
     load_snapshot,
     save_snapshot,
 )
+from repro.dynamic.duals import DualStore, decode_edge_codes, encode_edge_codes
 from repro.dynamic.dynamic_graph import DynamicGraph
-from repro.dynamic.maintainer import BatchReport, IncrementalCoverMaintainer
+from repro.dynamic.maintainer import (
+    KERNEL_PROFILE_KEYS,
+    BatchReport,
+    IncrementalCoverMaintainer,
+)
 from repro.dynamic.policy import ResolveDecision, ResolvePolicy
 from repro.dynamic.ingest import (
     DirectorySource,
@@ -96,12 +105,14 @@ __all__ = [
     "CheckpointError",
     "CheckpointVersionError",
     "DirectorySource",
+    "DualStore",
     "DynamicGraph",
     "EdgeDelete",
     "EdgeInsert",
     "FileSource",
     "GraphUpdate",
     "IncrementalCoverMaintainer",
+    "KERNEL_PROFILE_KEYS",
     "MemorySource",
     "ResolveDecision",
     "ResolvePolicy",
@@ -115,6 +126,8 @@ __all__ = [
     "WALRecord",
     "WriteAheadLog",
     "compact_wal",
+    "decode_edge_codes",
+    "encode_edge_codes",
     "iter_update_batches",
     "load_snapshot",
     "load_update_stream",

@@ -14,9 +14,16 @@ mid-stream:
   digest, scalar state, and caller counters (stream position, policy
   cooldown, re-solve tally).
 
-The container is an NPZ archive (arrays stay binary and compressed, the
-header is one JSON string member), gzip-wrapped when the path ends in
-``.gz``.  Two integrity layers make restores trustworthy:
+The container is an NPZ archive (arrays stay binary; member compression is
+deflate by default and can be disabled per write — ``np.savez_compressed``
+dominates snapshot cost on large graphs — the header is one JSON string
+member), gzip-wrapped when the path ends in ``.gz``.  Format version 2
+stores the duals as one flat ``dual_codes`` array (the ``(u << 32) | v``
+encoding of :mod:`repro.dynamic.duals`) plus values — the
+:class:`~repro.dynamic.duals.DualStore` serializes straight into the
+archive with a single vectorized encode; version-1 snapshots (two-column
+``dual_keys``) keep loading through the migration path in
+:func:`load_snapshot`.  Two integrity layers make restores trustworthy:
 
 1. a **content digest** over the header + every array, recomputed on load
    (bit rot, torn copies, and hand-edits raise
@@ -43,6 +50,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.dynamic.duals import decode_edge_codes
 from repro.dynamic.dynamic_graph import DynamicGraph
 from repro.dynamic.maintainer import IncrementalCoverMaintainer
 from repro.graphs.graph import WeightedGraph
@@ -62,12 +70,14 @@ __all__ = [
 
 PathLike = Union[str, "os.PathLike[str]"]
 
-CHECKPOINT_FORMAT_VERSION = 1
+CHECKPOINT_FORMAT_VERSION = 2
 
 _MAGIC = "repro-dynamic-snapshot"
 
-#: Array members of the archive, in digest order.
-_ARRAY_FIELDS = (
+#: Array members of the archive by format version, in digest order.
+#: Version 2 replaced the two-column ``dual_keys`` with the flat encoded
+#: ``dual_codes`` (see :mod:`repro.dynamic.duals`).
+_ARRAY_FIELDS_V1 = (
     "edges_u",
     "edges_v",
     "weights",
@@ -76,6 +86,16 @@ _ARRAY_FIELDS = (
     "dual_keys",
     "dual_values",
 )
+_ARRAY_FIELDS_V2 = (
+    "edges_u",
+    "edges_v",
+    "weights",
+    "cover",
+    "loads",
+    "dual_codes",
+    "dual_values",
+)
+_ARRAY_FIELDS_BY_VERSION = {1: _ARRAY_FIELDS_V1, 2: _ARRAY_FIELDS_V2}
 
 
 class CheckpointError(Exception):
@@ -111,8 +131,16 @@ class RestoredState:
     meta: dict
 
 
-def _digest(meta_sans_digest: dict, arrays: dict) -> str:
-    """SHA-256 over the canonical header and every array's raw bytes."""
+def _digest(meta_sans_digest: dict, arrays: dict, fields=None) -> str:
+    """SHA-256 over the canonical header and every array's raw bytes.
+
+    ``fields`` defaults to the array list of the header's format version,
+    so version-1 files verify against the exact byte stream they were
+    stamped with.
+    """
+    if fields is None:
+        version = meta_sans_digest.get("format_version", CHECKPOINT_FORMAT_VERSION)
+        fields = _ARRAY_FIELDS_BY_VERSION.get(version, _ARRAY_FIELDS_V2)
     h = hashlib.sha256()
     h.update(_MAGIC.encode("ascii"))
     h.update(
@@ -120,7 +148,7 @@ def _digest(meta_sans_digest: dict, arrays: dict) -> str:
             "utf-8"
         )
     )
-    for name in _ARRAY_FIELDS:
+    for name in fields:
         arr = arrays[name]
         h.update(name.encode("ascii"))
         h.update(str(arr.dtype).encode("ascii"))
@@ -150,13 +178,17 @@ def save_snapshot(
     *,
     extra: Optional[dict] = None,
     fsync: bool = True,
+    compress_arrays: bool = True,
 ) -> str:
     """Serialize ``maintainer`` (and its current graph) to ``path``.
 
     ``extra`` is an arbitrary JSON-friendly dict stored verbatim in the
     header — the stream layer records its position and counters there.
     The file appears atomically; with ``fsync`` it also survives power
-    loss.  Returns the snapshot's content digest.
+    loss.  ``compress_arrays=False`` writes a plain (store-only) NPZ —
+    deflate dominates snapshot wall clock on large graphs, and the
+    stream layer exposes the choice as ``--snapshot-compression``.
+    Returns the snapshot's content digest.
     """
     graph = maintainer.dyn.materialize()
     state = maintainer.export_state()
@@ -166,7 +198,8 @@ def save_snapshot(
         "weights": np.asarray(graph.weights, dtype=np.float64),
         "cover": state["cover"],
         "loads": state["loads"],
-        "dual_keys": state["dual_keys"],
+        # export_state emits the store's codes directly — no re-encode.
+        "dual_codes": np.asarray(state["dual_codes"], dtype=np.int64),
         "dual_values": state["dual_values"],
     }
     meta = {
@@ -180,11 +213,12 @@ def save_snapshot(
         "batches_applied": state["batches_applied"],
         "extra": dict(extra or {}),
     }
-    digest = _digest(meta, arrays)
+    digest = _digest(meta, arrays, _ARRAY_FIELDS_V2)
     meta["content_digest"] = digest
 
     buf = io.BytesIO()
-    np.savez_compressed(buf, meta_json=np.frombuffer(
+    savez = np.savez_compressed if compress_arrays else np.savez
+    savez(buf, meta_json=np.frombuffer(
         json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
     ), **arrays)
     data = buf.getvalue()
@@ -227,12 +261,25 @@ def _read(path: PathLike) -> _RawSnapshot:
                     f"snapshot {name}: missing metadata header"
                 )
             meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
-            missing = [f for f in _ARRAY_FIELDS if f not in archive]
+            if not isinstance(meta, dict) or meta.get("magic") != _MAGIC:
+                raise CheckpointCorruptionError(
+                    f"snapshot {name}: not a {_MAGIC} file"
+                )
+            version = meta.get("format_version")
+            fields = _ARRAY_FIELDS_BY_VERSION.get(version)
+            if fields is None:
+                raise CheckpointVersionError(
+                    f"snapshot {name}: format version {version!r} is not "
+                    f"supported (this build reads versions "
+                    f"{sorted(_ARRAY_FIELDS_BY_VERSION)}); re-create the "
+                    f"checkpoint with a matching build"
+                )
+            missing = [f for f in fields if f not in archive]
             if missing:
                 raise CheckpointCorruptionError(
                     f"snapshot {name}: missing array members {missing}"
                 )
-            arrays = {f: archive[f] for f in _ARRAY_FIELDS}
+            arrays = {f: archive[f] for f in fields}
     except CheckpointError:
         raise
     except Exception as exc:  # zipfile/zlib/json damage comes in many shapes
@@ -240,21 +287,10 @@ def _read(path: PathLike) -> _RawSnapshot:
             f"snapshot {name}: cannot parse archive ({exc})"
         ) from exc
 
-    if not isinstance(meta, dict) or meta.get("magic") != _MAGIC:
-        raise CheckpointCorruptionError(
-            f"snapshot {name}: not a {_MAGIC} file"
-        )
-    version = meta.get("format_version")
-    if version != CHECKPOINT_FORMAT_VERSION:
-        raise CheckpointVersionError(
-            f"snapshot {name}: format version {version!r} is not supported "
-            f"(this build reads version {CHECKPOINT_FORMAT_VERSION}); "
-            f"re-create the checkpoint with a matching build"
-        )
     stored = meta.get("content_digest")
     check = dict(meta)
     check.pop("content_digest", None)
-    computed = _digest(check, arrays)
+    computed = _digest(check, arrays, fields)
     if stored != computed:
         raise CheckpointCorruptionError(
             f"snapshot {name}: content digest mismatch (stored "
@@ -294,10 +330,17 @@ def load_snapshot(path: PathLike) -> RestoredState:
             f"{str(meta.get('graph_digest'))[:12]}…"
         )
     dyn = DynamicGraph(graph)
+    if "dual_codes" in arrays:
+        du, dv = decode_edge_codes(arrays["dual_codes"])
+        dual_keys = np.stack([du, dv], axis=1) if du.size else du.reshape(0, 2)
+    else:
+        # Version-1 migration: two-column keys load as-is and the next
+        # save_snapshot rewrites the file in the current format.
+        dual_keys = np.asarray(arrays["dual_keys"], dtype=np.int64).reshape(-1, 2)
     state = {
         "cover": arrays["cover"],
         "loads": arrays["loads"],
-        "dual_keys": arrays["dual_keys"],
+        "dual_keys": dual_keys,
         "dual_values": arrays["dual_values"],
         "dual_value": meta["dual_value"],
         "base_ratio": meta["base_ratio"],

@@ -1,25 +1,33 @@
-"""Mutable graph view: a canonical snapshot plus a delta log.
+"""Mutable graph view: a canonical snapshot plus a CSR-delta overlay.
 
 :class:`~repro.graphs.WeightedGraph` is deliberately immutable — every
 algorithm in the package depends on its canonical CSR edge order.  A
 dynamic workload therefore needs a wrapper that absorbs updates cheaply and
 re-canonicalizes only occasionally:
 
-* **Base snapshot.**  A frozen :class:`WeightedGraph` in canonical form.
-* **Delta log.**  Edges inserted since the snapshot (``added``), snapshot
-  edges deleted since (``deleted``), and a mutable weight array.  Applying
-  one update is O(1) (amortized; set and adjacency-dict operations).
+* **Base CSR.**  A frozen :class:`WeightedGraph` snapshot, unpacked into
+  flat row-sorted ``indptr``/``indices`` arrays with an *aliveness* mask
+  per adjacency slot.  Deleting a snapshot edge flips two mask bits (found
+  by binary search in the sorted rows); it never rebuilds anything.
+* **Overlay.**  Edges inserted since the snapshot live in small per-vertex
+  sets plus an edge-code set (O(1) insert *and* delete); a maintained
+  degree vector absorbs every structural change, so ``degree(v)`` is one
+  array read.
 * **Compaction.**  :meth:`compact` folds the delta into a fresh canonical
   snapshot (one O(m log m) rebuild); :meth:`maybe_compact` does so only
   once the structural delta exceeds a configurable fraction of the
   snapshot, so a stream of k updates costs O(k) amortized plus a rebuild
   every Θ(m) structural changes.
 
-Neighbor queries (:meth:`neighbors`, :meth:`has_edge`) answer against the
-*current* graph — base CSR minus deletions plus insertions — which is what
-the incremental repair pass in
-:class:`repro.dynamic.IncrementalCoverMaintainer` needs: it only ever looks
-at the neighborhoods touched by a batch, never at the whole edge set.
+Neighbor queries answer against the *current* graph — base CSR minus
+deletions plus insertions.  :meth:`neighbors` returns a flat ``int64``
+array (a zero-copy CSR slice when the vertex has no pending deletions or
+overlay edges), which is what the vectorized repair/prune kernels in
+:mod:`repro.dynamic.repair` consume directly; :meth:`has_edges` answers
+whole frontier-presence queries with one ``searchsorted`` against the
+sorted base edge codes.  Edge identity uses the ``(u << 32) | v`` code of
+:mod:`repro.dynamic.duals`, so presence checks hash one int, never a
+tuple.
 
 :meth:`materialize` produces the current graph as a canonical
 :class:`WeightedGraph` (memoized until the next mutation); its
@@ -33,10 +41,26 @@ from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.dynamic.duals import _SHIFT, decode_edge_codes, encode_edge_codes
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.updates import EdgeDelete, EdgeInsert, GraphUpdate, WeightChange
 
 __all__ = ["DynamicGraph"]
+
+#: Vertex ids must fit the ``u`` lane of an edge code with headroom for
+#: the sign bit: ``u << 32`` stays positive for ``u < 2**31``.
+_MAX_N = 1 << 31
+
+
+def _sorted_member(sorted_codes: np.ndarray, codes: np.ndarray) -> np.ndarray:
+    """Membership of ``codes`` in a sorted code array (binary search —
+    unlike ``np.isin``, never re-sorts the haystack)."""
+    if not sorted_codes.size:
+        return np.zeros(codes.shape, dtype=bool)
+    pos = np.minimum(
+        np.searchsorted(sorted_codes, codes), sorted_codes.size - 1
+    )
+    return sorted_codes[pos] == codes
 
 
 class DynamicGraph:
@@ -62,6 +86,11 @@ class DynamicGraph:
     ):
         if compact_fraction <= 0:
             raise ValueError(f"compact_fraction must be > 0, got {compact_fraction}")
+        if base.n >= _MAX_N:
+            raise ValueError(
+                f"DynamicGraph supports at most {_MAX_N - 1} vertices "
+                f"(edge codes pack both endpoints into one int64), got {base.n}"
+            )
         self.compact_fraction = float(compact_fraction)
         self.min_compact = int(min_compact)
         self._weights = np.array(base.weights, dtype=np.float64)  # mutable copy
@@ -73,14 +102,43 @@ class DynamicGraph:
 
     def _set_base(self, base: WeightedGraph) -> None:
         self._base = base
-        self._base_ids: Dict[Tuple[int, int], int] = {
-            (int(u), int(v)): e
-            for e, (u, v) in enumerate(zip(base.edges_u, base.edges_v))
-        }
-        self._added: Set[Tuple[int, int]] = set()
-        self._deleted: Set[Tuple[int, int]] = set()
+        n, m = base.n, base.m
+        self._n = n
+        # Row-sorted CSR (WeightedGraph's lazy CSR groups by head but is
+        # not sorted within a row; the delta layer wants deterministic,
+        # binary-searchable rows).
+        heads = np.concatenate([base.edges_u, base.edges_v])
+        tails = np.concatenate([base.edges_v, base.edges_u])
+        if m:
+            order = np.lexsort((tails, heads))
+            tails = np.ascontiguousarray(tails[order])
+            # Slot of edge e's two directed entries in the sorted CSR —
+            # one O(1) lookup per delete instead of two row searches.
+            inv = np.empty(2 * m, dtype=np.int64)
+            inv[order] = np.arange(2 * m, dtype=np.int64)
+            self._slot_uv = inv[:m]
+            self._slot_vu = inv[m:]
+        else:
+            self._slot_uv = np.empty(0, np.int64)
+            self._slot_vu = np.empty(0, np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(heads, minlength=n), out=indptr[1:])
+        self._indptr = indptr
+        self._adj = tails.astype(np.int64, copy=False)
+        # neighbors() hands out zero-copy slices of this array; freeze it
+        # so a caller mutating the result fails loudly instead of
+        # corrupting the shared adjacency.
+        self._adj.setflags(write=False)
+        self._alive = np.ones(self._adj.shape[0], dtype=bool)
+        # Canonical edges are lex-sorted, so their codes arrive sorted.
+        self._base_codes = encode_edge_codes(base.edges_u, base.edges_v)
+        self._base_code_set: Set[int] = set(self._base_codes.tolist())
+        self._base_keep = np.ones(m, dtype=bool)
+        self._degrees = base.degrees.astype(np.int64).copy()
+        self._added_codes: Set[int] = set()
+        self._deleted_codes: Set[int] = set()
         self._added_adj: Dict[int, Set[int]] = {}
-        self._deleted_adj: Dict[int, Set[int]] = {}
+        self._delta_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._materialized: Optional[WeightedGraph] = None
 
     # ------------------------------------------------------------------ #
@@ -94,7 +152,7 @@ class DynamicGraph:
     @property
     def m(self) -> int:
         """Current number of edges."""
-        return self._base.m - len(self._deleted) + len(self._added)
+        return self._base.m - len(self._deleted_codes) + len(self._added_codes)
 
     @property
     def weights(self) -> np.ndarray:
@@ -109,7 +167,7 @@ class DynamicGraph:
     @property
     def delta_size(self) -> int:
         """Structural updates (inserts + deletes) pending since the snapshot."""
-        return len(self._added) + len(self._deleted)
+        return len(self._added_codes) + len(self._deleted_codes)
 
     @property
     def generation(self) -> int:
@@ -136,8 +194,8 @@ class DynamicGraph:
 
     def _check_vertex(self, v: int) -> int:
         v = int(v)
-        if not (0 <= v < self.n):
-            raise ValueError(f"vertex {v} out of range [0, {self.n})")
+        if not (0 <= v < self._n):
+            raise ValueError(f"vertex {v} out of range [0, {self._n})")
         return v
 
     def has_edge(self, u: int, v: int) -> bool:
@@ -145,27 +203,129 @@ class DynamicGraph:
         u, v = self._check_vertex(u), self._check_vertex(v)
         if u == v:
             return False
-        key = self._key(u, v)
-        if key in self._added:
+        code = (u << _SHIFT) | v if u < v else (v << _SHIFT) | u
+        if code in self._added_codes:
             return True
-        return key in self._base_ids and key not in self._deleted
+        return code in self._base_code_set and code not in self._deleted_codes
 
-    def neighbors(self, v: int) -> Set[int]:
-        """Current neighbor set of ``v`` (a fresh set; safe to mutate)."""
+    def has_edges(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Vectorized presence of canonical ``(u, v)`` endpoint arrays.
+
+        The whole-frontier form of :meth:`has_edge`.  Small frontiers (the
+        per-batch repair prepass) answer from the O(1) code sets directly;
+        large ones go through one ``searchsorted`` against the sorted base
+        codes plus two delta binary searches.
+        """
+        codes = encode_edge_codes(u, v)
+        if codes.size <= 128:
+            added = self._added_codes
+            deleted = self._deleted_codes
+            base = self._base_code_set
+            return np.fromiter(
+                (
+                    c in added or (c in base and c not in deleted)
+                    for c in codes.tolist()
+                ),
+                dtype=bool,
+                count=codes.size,
+            )
+        present = _sorted_member(self._base_codes, codes)
+        added_arr, deleted_arr = self._delta_code_arrays()
+        if deleted_arr.size:
+            present &= ~_sorted_member(deleted_arr, codes)
+        if added_arr.size:
+            present |= _sorted_member(added_arr, codes)
+        return present
+
+    def _delta_code_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Sorted ``(added, deleted)`` code arrays, cached per generation."""
+        if self._delta_arrays is None:
+            added = np.fromiter(
+                self._added_codes, dtype=np.int64, count=len(self._added_codes)
+            )
+            added.sort()
+            deleted = np.fromiter(
+                self._deleted_codes, dtype=np.int64, count=len(self._deleted_codes)
+            )
+            deleted.sort()
+            self._delta_arrays = (added, deleted)
+        return self._delta_arrays
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Current neighbors of ``v`` as a flat ``int64`` array.
+
+        A zero-copy *read-only* CSR slice when ``v`` has no pending
+        deletions or overlay edges (writing to it raises); otherwise the
+        masked slice concatenated with the overlay set.  Base neighbors
+        come out ascending, overlay insertions follow in no guaranteed
+        order — treat the result as a set and copy before mutating.
+        """
         v = self._check_vertex(v)
-        out = set(int(x) for x in self._base.neighbors(v))
-        out -= self._deleted_adj.get(v, set())
-        out |= self._added_adj.get(v, set())
-        return out
+        s, e = int(self._indptr[v]), int(self._indptr[v + 1])
+        row = self._adj[s:e]
+        if self._deleted_codes:
+            mask = self._alive[s:e]
+            if not mask.all():
+                row = row[mask]
+        over = self._added_adj.get(v)
+        if over:
+            row = np.concatenate(
+                [row, np.fromiter(over, dtype=np.int64, count=len(over))]
+            )
+        return row
 
     def degree(self, v: int) -> int:
-        """Current degree of ``v``."""
-        v = self._check_vertex(v)
-        return (
-            int(self._base.degrees[v])
-            - len(self._deleted_adj.get(v, ()))
-            + len(self._added_adj.get(v, ()))
+        """Current degree of ``v`` (one read of the maintained vector)."""
+        return int(self._degrees[self._check_vertex(v)])
+
+    def degrees_of(self, vertices: np.ndarray) -> np.ndarray:
+        """Current degrees of a vertex-id array (vectorized gather)."""
+        return self._degrees[np.asarray(vertices, dtype=np.int64)]
+
+    def prune_gather(
+        self, vertices: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict[int, np.ndarray]]:
+        """Batched neighborhood gather for the vectorized prune kernel.
+
+        Returns ``(concat, starts, ends, extras)``: the base-CSR
+        neighborhoods of ``vertices[i]`` live in
+        ``concat[starts[i]:ends[i]]`` (deleted slots already filtered),
+        and ``extras[i]`` holds overlay-inserted neighbors for the few
+        vertices that have any.  One ``arange``/``repeat`` index build +
+        one fancy gather replaces a Python-level :meth:`neighbors` call
+        per vertex — the difference between O(candidates) interpreter
+        round trips and three array ops per batch.
+        """
+        v = np.asarray(vertices, dtype=np.int64)
+        row_starts = self._indptr[v]
+        sizes = self._indptr[v + 1] - row_starts
+        total = int(sizes.sum())
+        ends = np.cumsum(sizes)
+        starts = ends - sizes
+        idx = np.arange(total, dtype=np.int64) + np.repeat(
+            row_starts - starts, sizes
         )
+        concat = self._adj[idx]
+        if self._deleted_codes:
+            alive = self._alive[idx]
+            if not alive.all():
+                new_sizes = np.zeros(v.size, dtype=np.int64)
+                nonempty = np.nonzero(sizes)[0]
+                if nonempty.size:
+                    new_sizes[nonempty] = np.add.reduceat(
+                        alive, starts[nonempty]
+                    )
+                concat = concat[alive]
+                ends = np.cumsum(new_sizes)
+                starts = ends - new_sizes
+        extras: Dict[int, np.ndarray] = {}
+        if self._added_adj:
+            added_adj = self._added_adj
+            for i, vid in enumerate(v.tolist()):
+                over = added_adj.get(vid)
+                if over:
+                    extras[i] = np.fromiter(over, dtype=np.int64, count=len(over))
+        return concat, starts, ends, extras
 
     # ------------------------------------------------------------------ #
     # updates
@@ -185,29 +345,33 @@ class DynamicGraph:
             return self._reweight(update.v, update.weight)
         raise TypeError(f"not a graph update: {type(update).__name__}")
 
-    def _adj_add(self, adj: Dict[int, Set[int]], u: int, v: int) -> None:
-        adj.setdefault(u, set()).add(v)
-        adj.setdefault(v, set()).add(u)
-
-    def _adj_remove(self, adj: Dict[int, Set[int]], u: int, v: int) -> None:
-        adj[u].discard(v)
-        adj[v].discard(u)
+    def _set_alive(self, code: int, alive: bool) -> int:
+        """Flip both directed CSR slots of a base edge; returns its id."""
+        e = int(np.searchsorted(self._base_codes, code))
+        self._alive[self._slot_uv[e]] = alive
+        self._alive[self._slot_vu[e]] = alive
+        return e
 
     def _insert(self, u: int, v: int) -> bool:
         u, v = self._check_vertex(u), self._check_vertex(v)
         if u == v:
             raise ValueError(f"self-loop at vertex {u} is not allowed")
-        key = self._key(u, v)
-        if key in self._added:
+        if u > v:
+            u, v = v, u
+        code = (u << _SHIFT) | v
+        if code in self._added_codes:
             return False
-        if key in self._base_ids:
-            if key not in self._deleted:
+        if code in self._base_code_set:
+            if code not in self._deleted_codes:
                 return False
-            self._deleted.remove(key)
-            self._adj_remove(self._deleted_adj, *key)
+            self._deleted_codes.remove(code)
+            self._base_keep[self._set_alive(code, True)] = True
         else:
-            self._added.add(key)
-            self._adj_add(self._added_adj, *key)
+            self._added_codes.add(code)
+            self._added_adj.setdefault(u, set()).add(v)
+            self._added_adj.setdefault(v, set()).add(u)
+        self._degrees[u] += 1
+        self._degrees[v] += 1
         self._touch()
         return True
 
@@ -215,15 +379,20 @@ class DynamicGraph:
         u, v = self._check_vertex(u), self._check_vertex(v)
         if u == v:
             return False
-        key = self._key(u, v)
-        if key in self._added:
-            self._added.remove(key)
-            self._adj_remove(self._added_adj, *key)
-        elif key in self._base_ids and key not in self._deleted:
-            self._deleted.add(key)
-            self._adj_add(self._deleted_adj, *key)
+        if u > v:
+            u, v = v, u
+        code = (u << _SHIFT) | v
+        if code in self._added_codes:
+            self._added_codes.remove(code)
+            self._added_adj[u].discard(v)
+            self._added_adj[v].discard(u)
+        elif code in self._base_code_set and code not in self._deleted_codes:
+            self._deleted_codes.add(code)
+            self._base_keep[self._set_alive(code, False)] = False
         else:
             return False
+        self._degrees[u] -= 1
+        self._degrees[v] -= 1
         self._touch()
         return True
 
@@ -241,24 +410,23 @@ class DynamicGraph:
     def _touch(self) -> None:
         self._generation += 1
         self._materialized = None
+        self._delta_arrays = None
 
     # ------------------------------------------------------------------ #
     # materialization / compaction
     # ------------------------------------------------------------------ #
     def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """Current endpoint arrays (not necessarily canonical order)."""
-        bu, bv = self._base.edges_u, self._base.edges_v
-        if self._deleted:
-            # Deleted keys are always snapshot edges, so the id map gives
-            # their edge ids directly — O(|deleted|), not O(m).
-            keep = np.ones(self._base.m, dtype=bool)
-            keep[[self._base_ids[key] for key in self._deleted]] = False
-            bu, bv = bu[keep], bv[keep]
-        if self._added:
-            extra = np.array(sorted(self._added), dtype=np.int64).reshape(-1, 2)
-            bu = np.concatenate([np.asarray(bu), extra[:, 0]])
-            bv = np.concatenate([np.asarray(bv), extra[:, 1]])
-        return np.asarray(bu, dtype=np.int64), np.asarray(bv, dtype=np.int64)
+        bu = np.asarray(self._base.edges_u, dtype=np.int64)
+        bv = np.asarray(self._base.edges_v, dtype=np.int64)
+        if self._deleted_codes:
+            bu, bv = bu[self._base_keep], bv[self._base_keep]
+        if self._added_codes:
+            added, _ = self._delta_code_arrays()
+            au, av = decode_edge_codes(added)
+            bu = np.concatenate([bu, au])
+            bv = np.concatenate([bv, av])
+        return bu, bv
 
     def materialize(self) -> WeightedGraph:
         """The current graph as a canonical :class:`WeightedGraph` (memoized)."""

@@ -22,6 +22,12 @@ re-solving from scratch.  The invariants after every
    are covered; untouched vertices keep their state, so the pass is
    O(batch-neighborhood), not O(n).
 
+The hot path runs the vectorized kernels of :mod:`repro.dynamic.repair`
+over the dynamic graph's CSR-delta arrays; ``kernels="reference"`` swaps
+in the original object-at-a-time ``_reference_*`` implementations — same
+results bit for bit (the contract ``tests/properties/test_property_kernels``
+enforces), used by the differential suites and the kernel microbenchmark.
+
 The certificate degrades (``drift``) as churn accumulates — deletions strand
 cover weight whose paying edges are gone, weight changes bend the dual
 loads.  The maintainer only *measures* drift; deciding when to trigger a
@@ -31,6 +37,7 @@ it through the batch service is :func:`repro.dynamic.stream.run_stream`'s.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -39,10 +46,13 @@ import numpy as np
 from repro.core.certificates import CoverCertificate
 from repro.core.postprocess import prune_redundant_vertices
 from repro.core.result import MWVCResult
+from repro.dynamic.duals import DualStore, decode_edge_codes
 from repro.dynamic.dynamic_graph import DynamicGraph
 from repro.dynamic.repair import (
     RESIDUAL_RTOL,
     PruneView,
+    _reference_greedy_prune_pass,
+    _reference_pricing_repair_pass,
     adopt_solution,
     certificate_from_state,
     greedy_prune_pass,
@@ -50,11 +60,14 @@ from repro.dynamic.repair import (
 )
 from repro.graphs.updates import EdgeDelete, EdgeInsert, GraphUpdate, WeightChange
 
-__all__ = ["IncrementalCoverMaintainer", "BatchReport"]
+__all__ = ["IncrementalCoverMaintainer", "BatchReport", "KERNEL_PROFILE_KEYS"]
 
 #: Relative tolerance for "residual weight is exhausted" decisions
 #: (the shared constant of :mod:`repro.dynamic.repair`).
 _RESIDUAL_RTOL = RESIDUAL_RTOL
+
+#: Sections of the per-batch kernel timing breakdown (``profile=True``).
+KERNEL_PROFILE_KEYS = ("adjacency_s", "repair_s", "prune_s", "certificate_s")
 
 
 @dataclass(frozen=True)
@@ -163,23 +176,57 @@ class IncrementalCoverMaintainer:
 
     On an edgeless initial graph :meth:`adopt` is optional — the empty
     cover is trivially valid and repairs bootstrap the duals from zero.
+
+    Parameters
+    ----------
+    kernels:
+        ``"vectorized"`` (default) runs the array kernels of
+        :mod:`repro.dynamic.repair`; ``"reference"`` runs the original
+        object-at-a-time implementations.  Results are bit-identical —
+        the switch exists for differential tests and benchmarking.
+    profile:
+        Accumulate a per-batch kernel timing breakdown
+        (:data:`KERNEL_PROFILE_KEYS`) in :attr:`kernel_profile` /
+        :attr:`last_batch_profile`.  Off by default: the hot path stays
+        timer-free.
     """
 
-    def __init__(self, dyn: DynamicGraph):
+    def __init__(
+        self,
+        dyn: DynamicGraph,
+        *,
+        kernels: str = "vectorized",
+        profile: bool = False,
+    ):
+        if kernels not in ("vectorized", "reference"):
+            raise ValueError(
+                f"kernels must be 'vectorized' or 'reference', got {kernels!r}"
+            )
         self.dyn = dyn
+        self.kernels = kernels
         n = dyn.n
         self._cover = np.zeros(n, dtype=bool)
-        self._x: Dict[Tuple[int, int], float] = {}
+        self._x = DualStore()
         self._loads = np.zeros(n, dtype=np.float64)
         self._dual_value = 0.0
         self._base_ratio: Optional[float] = None
         self._batches = 0
+        self._init_profile(profile)
         if dyn.m:
             # A nonempty graph has no valid empty cover; start from the
             # trivial all-vertices cover (duals empty → ratio inf) so the
             # validity invariant holds from the first moment.  Callers are
             # expected to adopt() a real solution before streaming.
             self._cover[:] = True
+
+    def _init_profile(self, profile: bool) -> None:
+        self._profile = bool(profile)
+        self._profile_acc: Dict[str, float] = {k: 0.0 for k in KERNEL_PROFILE_KEYS}
+        self.last_batch_profile: Optional[Dict[str, float]] = None
+
+    def set_profiling(self, enabled: bool) -> None:
+        """Switch kernel profiling on/off (resets the accumulated split)."""
+        self._init_profile(enabled)
 
     # ------------------------------------------------------------------ #
     # state accessors
@@ -209,9 +256,14 @@ class IncrementalCoverMaintainer:
         """Number of :meth:`apply_batch` calls so far."""
         return self._batches
 
+    @property
+    def kernel_profile(self) -> Optional[Dict[str, float]]:
+        """Cumulative kernel timing breakdown (``None`` unless profiling)."""
+        return dict(self._profile_acc) if self._profile else None
+
     def edge_duals(self) -> Dict[Tuple[int, int], float]:
         """Nonzero per-edge duals keyed by canonical endpoint pair (copy)."""
-        return dict(self._x)
+        return self._x.as_dict()
 
     # ------------------------------------------------------------------ #
     # snapshot/restore support
@@ -224,22 +276,35 @@ class IncrementalCoverMaintainer:
         is bit-identical and every subsequent :meth:`apply_batch` evolves
         it exactly as the original (the property
         ``tests/recovery/test_equivalence.py`` checks).  Dual keys are
-        emitted in sorted order, making the export deterministic for a
-        given state (content digests of two exports of one state match).
+        emitted in sorted order (one vectorized code sort), making the
+        export deterministic for a given state (content digests of two
+        exports of one state match).
         """
-        keys = sorted(self._x)
+        dual_codes, dual_values = self._x.sorted_codes()
+        du, dv = decode_edge_codes(dual_codes)
+        dual_keys = (
+            np.stack([du, dv], axis=1) if dual_codes.size else dual_codes.reshape(0, 2)
+        )
         return {
             "cover": self._cover.copy(),
             "loads": self._loads.copy(),
-            "dual_keys": np.asarray(keys, dtype=np.int64).reshape(len(keys), 2),
-            "dual_values": np.asarray([self._x[k] for k in keys], dtype=np.float64),
+            "dual_keys": dual_keys,
+            "dual_codes": dual_codes,
+            "dual_values": dual_values,
             "dual_value": float(self._dual_value),
             "base_ratio": self._base_ratio,
             "batches_applied": int(self._batches),
         }
 
     @classmethod
-    def from_state(cls, dyn: DynamicGraph, state: dict) -> "IncrementalCoverMaintainer":
+    def from_state(
+        cls,
+        dyn: DynamicGraph,
+        state: dict,
+        *,
+        kernels: str = "vectorized",
+        profile: bool = False,
+    ) -> "IncrementalCoverMaintainer":
         """Reconstruct a maintainer around ``dyn`` from :meth:`export_state`.
 
         ``dyn`` must already hold the graph the state was exported against;
@@ -260,22 +325,25 @@ class IncrementalCoverMaintainer:
             raise ValueError(
                 f"dual arrays disagree: keys {keys.shape}, values {vals.shape}"
             )
+        if keys.shape[0]:
+            present = dyn.has_edges(keys[:, 0], keys[:, 1])
+            if not present.all():
+                u, v = keys[np.nonzero(~present)[0][0]]
+                raise ValueError(
+                    f"dual on ({int(u)}, {int(v)}) which is not an edge of "
+                    f"the restored graph"
+                )
         maintainer = cls.__new__(cls)
         maintainer.dyn = dyn
+        maintainer.kernels = kernels
         maintainer._cover = cover.copy()
         maintainer._loads = loads.copy()
-        maintainer._x = {}
-        for (u, v), val in zip(keys, vals):
-            u, v = int(u), int(v)
-            if not dyn.has_edge(u, v):
-                raise ValueError(
-                    f"dual on ({u}, {v}) which is not an edge of the restored graph"
-                )
-            maintainer._x[(u, v)] = float(val)
+        maintainer._x = DualStore.from_arrays(keys, vals)
         maintainer._dual_value = float(state["dual_value"])
         base = state["base_ratio"]
         maintainer._base_ratio = None if base is None else float(base)
         maintainer._batches = int(state["batches_applied"])
+        maintainer._init_profile(profile)
         return maintainer
 
     # ------------------------------------------------------------------ #
@@ -349,7 +417,7 @@ class IncrementalCoverMaintainer:
         graph:
             The graph the result was computed on; defaults to
             ``dyn.materialize()``.  Its canonical edge order maps
-            ``result.x`` into the maintainer's pair-keyed duals.
+            ``result.x`` into the maintainer's edge-code-keyed duals.
         prune:
             Run :func:`~repro.core.postprocess.prune_redundant_vertices`
             on the adopted cover (never heavier, usually lighter; the
@@ -382,6 +450,8 @@ class IncrementalCoverMaintainer:
         """
         updates = list(updates)
         dyn = self.dyn
+        profiling = self._profile
+        t_mark = time.perf_counter() if profiling else 0.0
         applied = inserts = deletes = reweights = 0
         retired = 0.0
         touched: Set[int] = set()
@@ -406,18 +476,32 @@ class IncrementalCoverMaintainer:
             elif isinstance(upd, WeightChange):
                 reweights += 1
                 touched.add(int(upd.v))
+        if profiling:
+            now = time.perf_counter()
+            adjacency_s, t_mark = now - t_mark, now
 
         repaired, entered = self._repair(uncovered)
         touched |= entered
+        if profiling:
+            now = time.perf_counter()
+            repair_s, t_mark = now - t_mark, now
         pruned = self._prune_touched(touched)
+        if profiling:
+            now = time.perf_counter()
+            prune_s, t_mark = now - t_mark, now
         # Amortized: fold the delta log into a fresh snapshot once it
-        # outgrows the base (the maintainer's pair-keyed state is
-        # snapshot-independent, so compaction is invisible here).
+        # outgrows the base (the maintainer's edge-code-keyed state is
+        # snapshot-independent, so compaction is invisible here).  Booked
+        # under adjacency_s — it is CSR maintenance, not prune work.
         self.dyn.maybe_compact()
+        if profiling:
+            now = time.perf_counter()
+            adjacency_s += now - t_mark
+            t_mark = now
 
         self._batches += 1
         cert = self.certificate()
-        return BatchReport(
+        report = BatchReport(
             num_updates=len(updates),
             applied=applied,
             inserts=inserts,
@@ -430,6 +514,19 @@ class IncrementalCoverMaintainer:
             certificate=cert,
             drift=self.drift(),
         )
+        if profiling:
+            certificate_s = time.perf_counter() - t_mark
+            delta = {
+                "adjacency_s": adjacency_s,
+                "repair_s": repair_s,
+                "prune_s": prune_s,
+                "certificate_s": certificate_s,
+            }
+            acc = self._profile_acc
+            for key, value in delta.items():
+                acc[key] += value
+            self.last_batch_profile = delta
+        return report
 
     def _retire_dual(self, key: Tuple[int, int]) -> float:
         """Drop a deleted edge's dual; returns the retired mass."""
@@ -456,48 +553,77 @@ class IncrementalCoverMaintainer:
         the sharded coordinator runs, which is what makes sharded and
         monolithic streams bit-identical.
         """
-        outcome = pricing_repair_pass(
-            sorted(set(uncovered)),
-            weights=self.dyn.weights,
-            cover=self._cover,
-            loads=self._loads,
-            duals=self._x,
-            dual_value=self._dual_value,
-            has_edge=self.dyn.has_edge,
-        )
+        keys = sorted(set(uncovered))
+        if self.kernels == "reference":
+            outcome = _reference_pricing_repair_pass(
+                keys,
+                weights=self.dyn.weights,
+                cover=self._cover,
+                loads=self._loads,
+                duals=self._x,
+                dual_value=self._dual_value,
+                has_edge=self.dyn.has_edge,
+            )
+        else:
+            outcome = pricing_repair_pass(
+                keys,
+                weights=self.dyn.weights,
+                cover=self._cover,
+                loads=self._loads,
+                duals=self._x,
+                dual_value=self._dual_value,
+                has_edges=self.dyn.has_edges,
+            )
         self._dual_value = outcome.dual_value
         return outcome.repaired, outcome.entered
 
     def _prune_touched(self, touched: Set[int]) -> int:
         """Greedy redundancy pruning restricted to the touched vertices.
 
-        Small touched sets walk the dynamic adjacency directly (O(batch
-        neighborhood), no materialization): decreasing ``w/deg`` order,
-        droppable iff every incident edge's other endpoint is covered,
-        and dropping ``v`` locks its neighbors — each now solely covers
-        its edge to ``v``.  Large touched sets (a constant fraction of
-        the graph) dispatch to the vectorized restricted sweep of
-        :func:`repro.core.postprocess.prune_redundant_vertices` with
-        ``candidates=touched``, which computes the same greedy result on
-        the materialized graph faster than a Python-level walk.
+        The vectorized kernel walks the dynamic CSR directly — O(batch
+        neighborhood), *never* materializing the graph: decreasing
+        ``w/deg`` order, droppable iff every incident edge's other
+        endpoint is covered, and dropping ``v`` locks its neighbors —
+        each now solely covers its edge to ``v``.  The reference path
+        keeps the historical dispatch: large touched sets (a constant
+        fraction of the graph) go to the restricted sweep of
+        :func:`repro.core.postprocess.prune_redundant_vertices` on the
+        materialized graph — the same greedy result (identical order and
+        droppability rule), so the two modes stay bit-identical.
         """
         w = self.dyn.weights
         candidates = [v for v in touched if self._cover[v]]
         if not candidates:
             return 0
-        if len(candidates) * 8 > self.dyn.n:
-            before = int(self._cover.sum())
-            self._cover = prune_redundant_vertices(
-                self.dyn.materialize(),
-                self._cover,
+        if self.kernels == "reference":
+            if len(candidates) * 8 > self.dyn.n:
+                before = int(self._cover.sum())
+                self._cover = prune_redundant_vertices(
+                    self.dyn.materialize(),
+                    self._cover,
+                    weights=w,
+                    candidates=np.asarray(candidates, dtype=np.int64),
+                )
+                return before - int(self._cover.sum())
+            pruned = _reference_greedy_prune_pass(
+                candidates,
                 weights=w,
-                candidates=np.asarray(candidates, dtype=np.int64),
+                cover=self._cover,
+                view=PruneView(
+                    neighbors=self.dyn.neighbors, degree=self.dyn.degree
+                ),
             )
-            return before - int(self._cover.sum())
+            return len(pruned)
         pruned = greedy_prune_pass(
             candidates,
             weights=w,
             cover=self._cover,
-            view=PruneView(neighbors=self.dyn.neighbors, degree=self.dyn.degree),
+            view=PruneView(
+                neighbors=self.dyn.neighbors,
+                degree=self.dyn.degree,
+                neighbors_array=self.dyn.neighbors,
+                degrees_of=self.dyn.degrees_of,
+                gather=self.dyn.prune_gather,
+            ),
         )
         return len(pruned)

@@ -11,7 +11,7 @@ point live here as free functions over plain arrays, and both engines call
 them:
 
 * :func:`pricing_repair_pass` — the local-ratio/pricing repair of
-  uncovered edges, processed in canonical sorted-key order.  Both repairs
+  uncovered edges, processed in canonical sorted-key order.  Two repairs
   of one batch interact only through shared endpoints, so any
   vertex-disjoint split of the key set composes back to the global result;
   the sharded coordinator exploits this by running the single pass over
@@ -26,18 +26,43 @@ them:
 * :func:`certificate_from_state` — the duality certificate from the raw
   ``(weights, cover, loads, dual_value)`` arrays.
 
+Both mutation kernels come in two implementations with one contract:
+
+* the **vectorized** public functions do a masked array *prepass*
+  (presence, covered-endpoint, residual/tolerance precomputation for the
+  repair; effectiveness ordering and bulk droppability for the prune) so
+  the sequential tail loop — whose float-accumulation *order* is the
+  bit-identity contract and therefore cannot be parallelized — only
+  touches surviving items through preextracted Python locals;
+* the ``_reference_*`` functions keep the original object-at-a-time
+  bodies.  They are the executable spec: the Hypothesis suite
+  ``tests/properties/test_property_kernels.py`` and the
+  ``benchmarks/bench_repair_kernels.py`` microbenchmark drive both
+  implementations over identical streams and require bit-for-bit equal
+  covers, duals, and dual totals.
+
+Why the prepass is exact, not approximate: the repair loop skips an edge
+iff it is absent or an endpoint is covered *when reached*; an edge absent
+or covered before the pass starts is skipped with no side effects, so
+filtering those up front removes only no-op iterations.  The prune loop
+re-reads ``cover`` per candidate, but cover bits only change at *dropped*
+vertices, and dropping ``v`` locks every neighbor of ``v`` — so any
+candidate whose droppability inputs changed mid-pass is locked and skipped
+anyway, making the pass-start droppability mask decision-equivalent.
+
 :class:`DisjointSets` is the union-find used to split repair/prune work
-into those independent conflict components.
+into independent conflict components.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Set, Tuple
+from typing import Callable, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.core.certificates import CoverCertificate
+from repro.dynamic.duals import DualStore
 
 __all__ = [
     "AdoptedState",
@@ -48,6 +73,8 @@ __all__ = [
     "certificate_from_state",
     "greedy_prune_pass",
     "pricing_repair_pass",
+    "_reference_greedy_prune_pass",
+    "_reference_pricing_repair_pass",
 ]
 
 #: Relative tolerance for "residual weight is exhausted" decisions.
@@ -82,25 +109,21 @@ class RepairOutcome:
     dual_value: float
 
 
-def pricing_repair_pass(
+def _reference_pricing_repair_pass(
     keys: Iterable[EdgeKey],
     *,
     weights: np.ndarray,
     cover: np.ndarray,
     loads: np.ndarray,
-    duals: Dict[EdgeKey, float],
+    duals,
     dual_value: float,
-    has_edge: Callable[[int, int], bool] = None,
+    has_edge: Optional[Callable[[int, int], bool]] = None,
 ) -> RepairOutcome:
-    """Patch uncovered edges via the local-ratio/pricing rule.
+    """The original object-at-a-time repair loop (executable spec).
 
-    ``keys`` must be canonical ``(u, v)`` pairs with ``u < v`` in sorted
-    order.  For each edge still present (when ``has_edge`` is given) and
-    still uncovered, the dual is raised by the smaller endpoint residual
-    ``w − y``; every endpoint whose residual is exhausted enters the
-    cover.  An endpoint already fully paid (residual ≤ 0, possible after
-    an adopted solve with load factor > 1 or a weight decrease) enters for
-    free.  ``cover``, ``loads`` and ``duals`` are mutated in place.
+    Semantically identical to :func:`pricing_repair_pass`; kept as the
+    differential-test oracle and the reference side of
+    ``benchmarks/bench_repair_kernels.py``.
     """
     repaired = 0
     entered: Set[int] = set()
@@ -140,6 +163,112 @@ def pricing_repair_pass(
     )
 
 
+def pricing_repair_pass(
+    keys: Iterable[EdgeKey],
+    *,
+    weights: np.ndarray,
+    cover: np.ndarray,
+    loads: np.ndarray,
+    duals,
+    dual_value: float,
+    has_edge: Optional[Callable[[int, int], bool]] = None,
+    has_edges: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+) -> RepairOutcome:
+    """Patch uncovered edges via the local-ratio/pricing rule.
+
+    ``keys`` must be canonical ``(u, v)`` pairs with ``u < v`` in sorted
+    order.  For each edge still present and still uncovered, the dual is
+    raised by the smaller endpoint residual ``w − y``; every endpoint
+    whose residual is exhausted enters the cover.  An endpoint already
+    fully paid (residual ≤ 0, possible after an adopted solve with load
+    factor > 1 or a weight decrease) enters for free.  ``cover``,
+    ``loads`` and ``duals`` are mutated in place.
+
+    ``duals`` is a :class:`~repro.dynamic.duals.DualStore` (or any
+    tuple-keyed mapping).  Presence filtering takes either the vectorized
+    ``has_edges(u_arr, v_arr) -> bool array`` (preferred) or the scalar
+    ``has_edge`` callable; omit both when the caller pre-filtered the
+    frontier (the sharded coordinator's merged shard reports).
+
+    The vectorized prepass removes edges that are absent or covered at
+    pass start and precomputes per-edge weights/tolerances; the ordered
+    dual-accumulation tail runs over the survivors only (see the module
+    docstring for the exactness argument).
+    """
+    key_list = keys if isinstance(keys, list) else list(keys)
+    if not key_list:
+        return RepairOutcome(
+            repaired=0, entered=set(), events=[], dual_value=dual_value
+        )
+
+    arr = np.asarray(key_list, dtype=np.int64).reshape(len(key_list), 2)
+    u_arr, v_arr = arr[:, 0], arr[:, 1]
+    keep = ~(cover[u_arr] | cover[v_arr])
+    if has_edges is not None:
+        keep &= has_edges(u_arr, v_arr)
+    elif has_edge is not None and keep.any():
+        idx = np.nonzero(keep)[0]
+        for i, u, v in zip(
+            idx.tolist(), u_arr[idx].tolist(), v_arr[idx].tolist()
+        ):
+            if not has_edge(u, v):
+                keep[i] = False
+    if not keep.any():
+        return RepairOutcome(
+            repaired=0, entered=set(), events=[], dual_value=dual_value
+        )
+
+    su, sv = u_arr[keep], v_arr[keep]
+    w_u = weights[su]
+    w_v = weights[sv]
+    # IEEE-identical to the reference's per-edge scalar products.
+    tols_u = (RESIDUAL_RTOL * w_u).tolist()
+    tols_v = (RESIDUAL_RTOL * w_v).tolist()
+    us, vs = su.tolist(), sv.tolist()
+    wus, wvs = w_u.tolist(), w_v.tolist()
+
+    repaired = 0
+    entered: Set[int] = set()
+    events: List[Tuple[EdgeKey, float]] = []
+    add_pay = duals.add_pay if isinstance(duals, DualStore) else None
+    for i in range(len(us)):
+        u = us[i]
+        v = vs[i]
+        if cover[u] or cover[v]:
+            continue  # an earlier repair already covered this edge
+        wu = wus[i]
+        wv = wvs[i]
+        ru = wu - float(loads[u])
+        rv = wv - float(loads[v])
+        pay = max(0.0, min(ru, rv))
+        if pay > 0.0:
+            if add_pay is not None:
+                add_pay(u, v, pay)
+            else:
+                key = (u, v)
+                duals[key] = duals.get(key, 0.0) + pay
+            loads[u] += pay
+            loads[v] += pay
+            dual_value += pay
+        if ru - pay <= tols_u[i]:
+            cover[u] = True
+            entered.add(u)
+        if rv - pay <= tols_v[i]:
+            cover[v] = True
+            entered.add(v)
+        if not (cover[u] or cover[v]):  # pragma: no cover
+            # min(ru, rv) - pay == 0 exactly for at least one endpoint;
+            # defensive fallback for pathological float inputs.
+            cheap = u if wu <= wv else v
+            cover[cheap] = True
+            entered.add(cheap)
+        repaired += 1
+        events.append(((u, v), pay))
+    return RepairOutcome(
+        repaired=repaired, entered=entered, events=events, dual_value=dual_value
+    )
+
+
 @dataclass(frozen=True)
 class PruneView:
     """Neighbor access for :func:`greedy_prune_pass`.
@@ -148,27 +277,31 @@ class PruneView:
     ``v`` and ``degree(v)`` its current degree — a candidate is droppable
     iff every incident edge's other endpoint is covered, so a partial
     neighborhood would silently break the cover.
+
+    The optional array accessors unlock the fully vectorized kernel:
+    ``degrees_of(ids)`` gathers degrees for a whole id array at once;
+    ``neighbors_array(v)`` returns one neighborhood as a flat ``int64``
+    array (a :class:`~repro.dynamic.DynamicGraph` CSR slice); ``gather``
+    batches the whole candidate set into one concatenated neighbor array
+    (:meth:`~repro.dynamic.DynamicGraph.prune_gather`).  Views without
+    them fall back to wrapping the scalar callables.
     """
 
     neighbors: Callable[[int], Iterable[int]]
     degree: Callable[[int], int]
+    neighbors_array: Optional[Callable[[int], np.ndarray]] = None
+    degrees_of: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    gather: Optional[Callable[[np.ndarray], tuple]] = None
 
 
-def greedy_prune_pass(
+def _reference_greedy_prune_pass(
     candidates: Iterable[int],
     *,
     weights: np.ndarray,
     cover: np.ndarray,
     view: PruneView,
 ) -> List[int]:
-    """Greedy redundancy prune restricted to ``candidates``.
-
-    Decreasing ``w/deg`` order (most expensive per covered edge first;
-    isolated vertices lead; ties by id for determinism), droppable iff
-    every current neighbor is covered, and dropping ``v`` locks its
-    neighbors — each now solely covers its edge to ``v``.  ``cover`` is
-    mutated in place; returns the pruned vertex ids.
-    """
+    """The original set-at-a-time prune loop (executable spec)."""
     cands = [v for v in candidates if cover[v]]
     if not cands:
         return []
@@ -188,6 +321,109 @@ def greedy_prune_pass(
             cover[v] = False
             pruned.append(v)
             locked |= neigh
+    return pruned
+
+
+def greedy_prune_pass(
+    candidates: Iterable[int],
+    *,
+    weights: np.ndarray,
+    cover: np.ndarray,
+    view: PruneView,
+) -> List[int]:
+    """Greedy redundancy prune restricted to ``candidates``.
+
+    Decreasing ``w/deg`` order (most expensive per covered edge first;
+    isolated vertices lead; ties by id for determinism), droppable iff
+    every current neighbor is covered, and dropping ``v`` locks its
+    neighbors — each now solely covers its edge to ``v``.  ``cover`` is
+    mutated in place; returns the pruned vertex ids.
+
+    Vectorized: ordering is one ``lexsort``, droppability is one gathered
+    ``cover`` reduction over the concatenated neighbor arrays, and the
+    sequential tail does O(1) work per candidate.  The drop *decisions*
+    equal :func:`_reference_greedy_prune_pass`'s exactly — cover bits only
+    change at dropped vertices, whose neighbors are locked, so the
+    pass-start droppability mask never disagrees with a live re-check for
+    an unlocked candidate.
+    """
+    cand = np.fromiter(
+        (v for v in candidates if cover[v]), dtype=np.int64
+    )
+    if cand.size == 0:
+        return []
+
+    if view.degrees_of is not None:
+        degs = view.degrees_of(cand)
+    else:
+        degs = np.fromiter(
+            (view.degree(int(v)) for v in cand), dtype=np.int64, count=cand.size
+        )
+    w = np.asarray(weights, dtype=np.float64)[cand]
+    with np.errstate(divide="ignore"):
+        eff = np.where(degs > 0, w / np.maximum(degs, 1), np.inf)
+    ordered = cand[np.lexsort((cand, -eff))]
+
+    locked = np.zeros(cover.shape[0], dtype=bool)
+    pruned: List[int] = []
+    if view.gather is not None:
+        # Batched path: one index build + one fancy gather for the whole
+        # candidate set (overlay-inserted neighbors ride in `extras`).
+        concat, starts, ends, extras = view.gather(ordered)
+        sizes = ends - starts
+        droppable = np.ones(ordered.size, dtype=bool)
+        nonempty = np.nonzero(sizes)[0]
+        if nonempty.size:
+            droppable[nonempty] = np.minimum.reduceat(
+                cover[concat], starts[nonempty]
+            )
+        for i, arr in extras.items():
+            if droppable[i] and not cover[arr].all():
+                droppable[i] = False
+        drop_flags = droppable.tolist()
+        seg_starts = starts.tolist()
+        seg_ends = ends.tolist()
+        for i, v in enumerate(ordered.tolist()):
+            if not drop_flags[i] or not cover[v] or locked[v]:
+                continue
+            cover[v] = False
+            pruned.append(v)
+            seg = concat[seg_starts[i] : seg_ends[i]]
+            if seg.size:
+                locked[seg] = True
+            extra = extras.get(i)
+            if extra is not None:
+                locked[extra] = True
+        return pruned
+
+    neigh_fn = view.neighbors_array
+    if neigh_fn is None:
+        raw = view.neighbors
+
+        def neigh_fn(v: int) -> np.ndarray:
+            return np.fromiter(raw(v), dtype=np.int64)
+
+    neighborhoods = [neigh_fn(int(v)) for v in ordered]
+    sizes = np.fromiter(
+        (a.size for a in neighborhoods), dtype=np.int64, count=len(neighborhoods)
+    )
+    droppable = np.ones(ordered.size, dtype=bool)
+    nonempty = np.nonzero(sizes)[0]
+    if nonempty.size:
+        concat = np.concatenate([neighborhoods[i] for i in nonempty.tolist()])
+        starts = np.zeros(nonempty.size, dtype=np.int64)
+        np.cumsum(sizes[nonempty][:-1], out=starts[1:])
+        droppable[nonempty] = np.minimum.reduceat(cover[concat], starts)
+
+    drop_flags = droppable.tolist()
+    for i, v in enumerate(ordered.tolist()):
+        if not drop_flags[i] or not cover[v] or locked[v]:
+            continue
+        cover[v] = False
+        pruned.append(v)
+        neigh = neighborhoods[i]
+        if neigh.size:
+            locked[neigh] = True
     return pruned
 
 
@@ -236,7 +472,7 @@ class AdoptedState:
     """A freshly solved solution converted to maintained-state arrays."""
 
     cover: np.ndarray
-    duals: Dict[EdgeKey, float]
+    duals: DualStore
     loads: np.ndarray
     dual_value: float
 
@@ -249,7 +485,8 @@ def adopt_solution(graph, result, *, weights: np.ndarray, prune: bool = True) ->
     coordinator: validates the result against the graph, optionally prunes
     the cover (:func:`repro.core.postprocess.prune_redundant_vertices` —
     never heavier, duals untouched), and maps the edge-indexed duals into
-    pair-keyed form.
+    an edge-code-keyed :class:`~repro.dynamic.duals.DualStore` with one
+    vectorized encode.
     """
     from repro.core.postprocess import prune_redundant_vertices
 
@@ -264,9 +501,11 @@ def adopt_solution(graph, result, *, weights: np.ndarray, prune: bool = True) ->
     if prune:
         cover = prune_redundant_vertices(graph, cover, weights=weights)
     nz = np.nonzero(x)[0]
-    duals = {
-        (int(graph.edges_u[e]), int(graph.edges_v[e])): float(x[e]) for e in nz
-    }
+    from repro.dynamic.duals import encode_edge_codes
+
+    duals = DualStore.from_codes(
+        encode_edge_codes(graph.edges_u[nz], graph.edges_v[nz]), x[nz]
+    )
     return AdoptedState(
         cover=cover.copy(),
         duals=duals,
@@ -279,10 +518,10 @@ class DisjointSets:
     """Union-find over arbitrary hashable items (path halving + size)."""
 
     def __init__(self):
-        self._parent: Dict[object, object] = {}
-        self._size: Dict[object, int] = {}
+        self._parent = {}
+        self._size = {}
 
-    def find(self, item) -> object:
+    def find(self, item):
         parent = self._parent
         if item not in parent:
             parent[item] = item
@@ -293,7 +532,7 @@ class DisjointSets:
             item = parent[item]
         return item
 
-    def union(self, a, b) -> object:
+    def union(self, a, b):
         ra, rb = self.find(a), self.find(b)
         if ra == rb:
             return ra
@@ -303,9 +542,9 @@ class DisjointSets:
         self._size[ra] += self._size[rb]
         return ra
 
-    def groups(self) -> Dict[object, List[object]]:
+    def groups(self):
         """Every known item grouped under its root."""
-        out: Dict[object, List[object]] = {}
+        out = {}
         for item in self._parent:
             out.setdefault(self.find(item), []).append(item)
         return out

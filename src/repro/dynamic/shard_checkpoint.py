@@ -149,12 +149,15 @@ def save_sharded_snapshot(
     batches_applied: int,
     extra: Optional[dict] = None,
     fsync: bool = True,
+    compress_arrays: bool = True,
 ) -> str:
     """Write one snapshot generation; returns its directory path.
 
     Shard files are written concurrently by the shard workers themselves
     (parallel I/O); the coordinator then writes its own arrays and commits
-    with the manifest.
+    with the manifest.  ``compress_arrays=False`` writes store-only NPZ
+    members everywhere (the ``--snapshot-compression none`` fast path);
+    the choice is recorded in the manifest for observability.
     """
     snapdir = sharded_snapshot_dir(directory, next_batch_index)
     os.makedirs(snapdir, exist_ok=True)
@@ -162,7 +165,11 @@ def save_sharded_snapshot(
     shard_results = pool.call_all(
         "write_snapshot_file",
         [
-            {"path": os.path.join(snapdir, f"shard-{s:04d}.npz"), "fsync": fsync}
+            {
+                "path": os.path.join(snapdir, f"shard-{s:04d}.npz"),
+                "fsync": fsync,
+                "compress": compress_arrays,
+            }
             for s in range(num_shards)
         ],
     )
@@ -176,7 +183,8 @@ def save_sharded_snapshot(
         "batches_applied": int(batches_applied),
     }
     buf = io.BytesIO()
-    np.savez_compressed(
+    savez = np.savez_compressed if compress_arrays else np.savez
+    savez(
         buf,
         meta_json=np.frombuffer(
             json.dumps(coord_meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
@@ -197,6 +205,7 @@ def save_sharded_snapshot(
         "partition": str(partition),
         "partition_seed": int(partition_seed),
         "n": int(n),
+        "snapshot_compression": "gzip" if compress_arrays else "none",
         "extra": dict(extra or {}),
         "coordinator": {
             "file": _COORDINATOR_FILE,

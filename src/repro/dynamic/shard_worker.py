@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.dynamic.duals import DualStore, decode_edge_codes
 from repro.dynamic.repair import DisjointSets, PruneView, greedy_prune_pass
 
 __all__ = ["ShardInit", "ShardPool", "ShardState"]
@@ -83,11 +84,9 @@ class ShardState:
         self.weights = np.array(init.weights, dtype=np.float64)
         self.cover = np.array(init.cover, dtype=bool)
         self.adj: Dict[int, Set[int]] = {}
-        for u, v in zip(init.edges_u, init.edges_v):
-            self._adj_add(int(u), int(v))
-        self.duals: Dict[EdgeKey, float] = {}
-        for (u, v), val in zip(init.dual_keys, init.dual_values):
-            self.duals[(int(u), int(v))] = float(val)
+        for u, v in zip(init.edges_u.tolist(), init.edges_v.tolist()):
+            self._adj_add(u, v)
+        self.duals = DualStore.from_arrays(init.dual_keys, init.dual_values)
 
     # ------------------------------------------------------------------ #
     # adjacency bookkeeping
@@ -182,25 +181,36 @@ class ShardState:
     # ------------------------------------------------------------------ #
     def finish_batch(
         self,
-        new_duals: Sequence[Tuple[EdgeKey, float]] = (),
+        dual_u: Optional[np.ndarray] = None,
+        dual_v: Optional[np.ndarray] = None,
+        dual_pay: Optional[np.ndarray] = None,
         entered: Sequence[int] = (),
         candidates: Sequence[int] = (),
     ) -> dict:
         """Apply the coordinator's repair results, then prune locally.
 
-        ``new_duals`` (sorted by key) are stored for edges incident to an
-        owned vertex; ``entered`` vertices join the cover replica.  Owned
-        prune candidates are split by candidate-adjacency into *interior*
-        components (no ghost candidate — pruned here, in parallel across
-        shards) and *boundary* components, shipped back with their full
-        neighbor lists so the coordinator can run the exact sequential
-        greedy across shard boundaries.
+        ``dual_u``/``dual_v``/``dual_pay`` are the repair pass's new dual
+        payments as parallel arrays (the replication log, sorted by key);
+        payments on edges incident to an owned vertex are folded into the
+        local store after one vectorized ownership mask.  ``entered``
+        vertices join the cover replica.  Owned prune candidates are
+        split by candidate-adjacency into *interior* components (no ghost
+        candidate — pruned here, in parallel across shards) and
+        *boundary* components, shipped back with their full neighbor
+        lists so the coordinator can run the exact sequential greedy
+        across shard boundaries.
         """
         owned = self.owned
-        for key, pay in new_duals:
-            u, v = key
-            if owned[u] or owned[v]:
-                self.duals[key] = self.duals.get(key, 0.0) + pay
+        if dual_u is not None and len(dual_u):
+            du = np.asarray(dual_u, dtype=np.int64)
+            dv = np.asarray(dual_v, dtype=np.int64)
+            pays = np.asarray(dual_pay, dtype=np.float64)
+            incident = owned[du] | owned[dv]
+            add_pay = self.duals.add_pay
+            for u, v, pay in zip(
+                du[incident].tolist(), dv[incident].tolist(), pays[incident].tolist()
+            ):
+                add_pay(u, v, pay)
         cover = self.cover
         for v in entered:
             cover[v] = True
@@ -263,13 +273,16 @@ class ShardState:
         return u_arr[order], v_arr[order]
 
     def export_duals(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Home duals as ``(keys, values)`` arrays, sorted by key."""
-        keys = sorted(
-            k for k in self.duals if self.assignment[k[0]] == self.shard_id
-        )
-        arr = np.asarray(keys, dtype=np.int64).reshape(len(keys), 2)
-        vals = np.asarray([self.duals[k] for k in keys], dtype=np.float64)
-        return arr, vals
+        """Home duals as ``(keys, values)`` arrays, sorted by key.
+
+        One vectorized code sort + ownership mask — no Python-level key
+        walk (this runs per snapshot and per re-solve gather).
+        """
+        codes, vals = self.duals.sorted_codes()
+        u, v = decode_edge_codes(codes)
+        home = self.assignment[u] == self.shard_id if codes.size else np.zeros(0, bool)
+        keys = np.stack([u[home], v[home]], axis=1) if codes.size else codes.reshape(0, 2)
+        return keys, vals[home] if codes.size else vals
 
     def adopt(
         self,
@@ -283,10 +296,7 @@ class ShardState:
         incident edges.
         """
         self.cover = np.array(cover, dtype=bool)
-        self.duals = {
-            (int(u), int(v)): float(x)
-            for (u, v), x in zip(dual_keys, dual_values)
-        }
+        self.duals = DualStore.from_arrays(dual_keys, dual_values)
 
     # ------------------------------------------------------------------ #
     # integrity / durability
@@ -316,10 +326,13 @@ class ShardState:
             "dual_values": vals,
         }
 
-    def write_snapshot_file(self, path: str, fsync: bool = True) -> dict:
+    def write_snapshot_file(
+        self, path: str, fsync: bool = True, compress: bool = True
+    ) -> dict:
         """Write this shard's snapshot file atomically (in parallel with
         its siblings); returns the file digest + edge count for the
-        coordinator's manifest."""
+        coordinator's manifest.  ``compress=False`` writes a store-only
+        NPZ (the ``--snapshot-compression none`` fast path)."""
         from repro.graphs.io import write_bytes_atomic
 
         payload = self.snapshot_payload()
@@ -330,7 +343,8 @@ class ShardState:
             "m": int(payload["edges_u"].shape[0]),
         }
         buf = io.BytesIO()
-        np.savez_compressed(
+        savez = np.savez_compressed if compress else np.savez
+        savez(
             buf,
             meta_json=np.frombuffer(
                 json.dumps(meta, sort_keys=True).encode("utf-8"),

@@ -56,8 +56,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.dynamic.checkpoint import CheckpointError
+from repro.dynamic.duals import DualStore, decode_edge_codes
 from repro.dynamic.ingest import UpdateRouter, open_update_source
-from repro.dynamic.maintainer import BatchReport
+from repro.dynamic.maintainer import KERNEL_PROFILE_KEYS, BatchReport
 from repro.dynamic.repair import (
     PruneView,
     adopt_solution,
@@ -126,30 +127,29 @@ def _combined_digest(
 
 
 def _duals_by_shard(
-    duals: Dict[EdgeKey, float], assignment: np.ndarray, num_shards: int
-) -> List[List[EdgeKey]]:
-    """Sorted dual keys bucketed by incident shard — one O(m) pass.
+    duals: DualStore, assignment: np.ndarray, num_shards: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Sorted dual ``(keys, values)`` arrays bucketed by incident shard.
 
-    A cut edge lands in both incident shards' buckets (its dual is
-    replicated so either side can retire it on delete); per-bucket order
-    stays sorted.
+    One vectorized code sort + per-shard incidence mask — no Python-level
+    key walk.  A cut edge lands in both incident shards' buckets (its
+    dual is replicated so either side can retire it on delete);
+    per-bucket order stays sorted.
     """
-    buckets: List[List[EdgeKey]] = [[] for _ in range(num_shards)]
-    for key in sorted(duals):
-        su = int(assignment[key[0]])
-        buckets[su].append(key)
-        sv = int(assignment[key[1]])
-        if sv != su:
-            buckets[sv].append(key)
+    codes, vals = duals.sorted_codes()
+    u, v = decode_edge_codes(codes)
+    su = assignment[u] if codes.size else np.zeros(0, np.int64)
+    sv = assignment[v] if codes.size else np.zeros(0, np.int64)
+    buckets = []
+    for s in range(num_shards):
+        mask = (su == s) | (sv == s)
+        keys = (
+            np.stack([u[mask], v[mask]], axis=1)
+            if codes.size
+            else np.empty((0, 2), np.int64)
+        )
+        buckets.append((keys, vals[mask] if codes.size else vals))
     return buckets
-
-
-def _dual_arrays(
-    keys: List[EdgeKey], duals: Dict[EdgeKey, float]
-) -> Tuple[np.ndarray, np.ndarray]:
-    arr = np.asarray(keys, dtype=np.int64).reshape(len(keys), 2)
-    vals = np.asarray([duals[k] for k in keys], dtype=np.float64)
-    return arr, vals
 
 
 def _build_shard_inits(
@@ -159,16 +159,17 @@ def _build_shard_inits(
     num_shards: int,
     weights: np.ndarray,
     cover: np.ndarray,
-    duals: Dict[EdgeKey, float],
+    duals,
 ) -> List[ShardInit]:
     """Scatter global state into per-shard construction blobs."""
     u = np.asarray(edges_u, dtype=np.int64)
     v = np.asarray(edges_v, dtype=np.int64)
-    buckets = _duals_by_shard(duals, assignment, num_shards)
+    store = duals if isinstance(duals, DualStore) else DualStore(duals)
+    buckets = _duals_by_shard(store, assignment, num_shards)
     inits = []
     for s in range(num_shards):
         mask = (assignment[u] == s) | (assignment[v] == s) if u.size else np.zeros(0, bool)
-        dual_keys, dual_values = _dual_arrays(buckets[s], duals)
+        dual_keys, dual_values = buckets[s]
         inits.append(
             ShardInit(
                 shard_id=s,
@@ -216,6 +217,7 @@ class _ShardedEngine:
         dual_value: float = 0.0,
         base_ratio: Optional[float] = None,
         batches_applied: int = 0,
+        profile: bool = False,
     ):
         self.n = n
         self.num_shards = num_shards
@@ -247,6 +249,9 @@ class _ShardedEngine:
         self.ingest_s = 0.0
         self.repair_s = 0.0
         self.resolve_s = 0.0
+        self.profile_enabled = bool(profile)
+        self.profile_acc = {k: 0.0 for k in KERNEL_PROFILE_KEYS}
+        self.last_batch_profile: Optional[dict] = None
 
     # -- counters (snapshot metadata) ------------------------------------ #
     def restore_counters(self, extra: dict) -> None:
@@ -317,16 +322,14 @@ class _ShardedEngine:
         self.base_ratio = cert.certified_ratio
         # Scatter: full cover replica + each shard's incident duals.
         buckets = _duals_by_shard(state.duals, self.assignment, self.num_shards)
-        payloads = []
-        for s in range(self.num_shards):
-            dual_keys, dual_values = _dual_arrays(buckets[s], state.duals)
-            payloads.append(
-                {
-                    "cover": self.cover,
-                    "dual_keys": dual_keys,
-                    "dual_values": dual_values,
-                }
-            )
+        payloads = [
+            {
+                "cover": self.cover,
+                "dual_keys": dual_keys,
+                "dual_values": dual_values,
+            }
+            for dual_keys, dual_values in buckets
+        ]
         self.pool.call_all("adopt", payloads)
         self.pending_clears = []  # superseded by the full cover scatter
         self.num_resolves += 1
@@ -355,6 +358,7 @@ class _ShardedEngine:
             batches_applied=self.batches_applied,
             extra=self.counters(next_batch_index),
             fsync=checkpoint.fsync,
+            compress_arrays=checkpoint.compress_arrays,
         )
         prune_sharded_snapshots(checkpoint.directory, checkpoint.keep_snapshots)
         if checkpoint.compact_wal and self.wal is not None:
@@ -407,7 +411,8 @@ class _ShardedEngine:
         # stays comparable across engines.
         t_apply = time.perf_counter()
         responses = self.pool.call_all("apply_batch", payloads)
-        self.repair_s += time.perf_counter() - t_apply
+        shard_round_s = time.perf_counter() - t_apply
+        self.repair_s += shard_round_s
         self.pending_clears = []
 
         digest = ""
@@ -428,6 +433,8 @@ class _ShardedEngine:
 
         # ---- replay: reweights + merged edge effects ------------------- #
         t1 = time.perf_counter()
+        profiling = self.profile_enabled
+        t_mark = time.perf_counter() if profiling else 0.0
         applied = inserts = deletes = reweights = 0
         retired = 0.0
         touched = set()
@@ -469,6 +476,11 @@ class _ShardedEngine:
                         self.dual_value = 0.0
                 retired += pay
 
+        if profiling:
+            now = time.perf_counter()
+            adjacency_s = (now - t_mark) + shard_round_s
+            t_mark = now
+
         # ---- merged repair frontier ------------------------------------ #
         uncovered = set()
         for response in responses:
@@ -478,19 +490,32 @@ class _ShardedEngine:
             weights=self.weights,
             cover=self.cover,
             loads=self.loads,
-            duals={},
+            duals=DualStore(),
             dual_value=self.dual_value,
         )
         self.dual_value = outcome.dual_value
         touched |= outcome.entered
+        if profiling:
+            now = time.perf_counter()
+            repair_kernel_s, t_mark = now - t_mark, now
 
         # ---- round 2: sync repair, two-level prune --------------------- #
         candidates = sorted(v for v in touched if self.cover[v])
-        new_duals = [(key, pay) for key, pay in outcome.events if pay > 0.0]
+        paying = [(key, pay) for key, pay in outcome.events if pay > 0.0]
+        if paying:
+            dual_u = np.asarray([k[0] for k, _ in paying], dtype=np.int64)
+            dual_v = np.asarray([k[1] for k, _ in paying], dtype=np.int64)
+            dual_pay = np.asarray([p for _, p in paying], dtype=np.float64)
+        else:
+            dual_u = np.empty(0, np.int64)
+            dual_v = np.empty(0, np.int64)
+            dual_pay = np.empty(0, np.float64)
         responses2 = self.pool.broadcast(
             "finish_batch",
             {
-                "new_duals": new_duals,
+                "dual_u": dual_u,
+                "dual_v": dual_v,
+                "dual_pay": dual_pay,
                 "entered": sorted(outcome.entered),
                 "candidates": candidates,
             },
@@ -514,6 +539,9 @@ class _ShardedEngine:
         )
         pruned.extend(boundary_pruned)
         self.pending_clears = sorted(pruned)
+        if profiling:
+            now = time.perf_counter()
+            prune_s, t_mark = now - t_mark, now
 
         self.batches_applied += 1
         self.updates_applied += len(batch)
@@ -533,6 +561,17 @@ class _ShardedEngine:
             drift=self.drift(cert.certified_ratio),
         )
         self.repair_s += time.perf_counter() - t1
+        if profiling:
+            certificate_s = time.perf_counter() - t_mark
+            batch_profile = {
+                "adjacency_s": adjacency_s,
+                "repair_s": repair_kernel_s,
+                "prune_s": prune_s,
+                "certificate_s": certificate_s,
+            }
+            for key, value in batch_profile.items():
+                self.profile_acc[key] += value
+            self.last_batch_profile = batch_profile
 
         decision = self.policy.should_resolve(
             certified_ratio=cert.certified_ratio,
@@ -556,6 +595,7 @@ class _ShardedEngine:
             resolve_cache_hit=hit,
             certified_ratio_after=self.certificate().certified_ratio,
             elapsed_s=time.perf_counter() - t_start,
+            kernel_profile=self.last_batch_profile if profiling else None,
         )
         self.records.append(record)
         if (
@@ -590,6 +630,7 @@ class _ShardedEngine:
             ingest_s=self.ingest_s,
             repair_s=self.repair_s,
             resolve_s=self.resolve_s,
+            kernel_profile=dict(self.profile_acc) if self.profile_enabled else None,
         )
 
 
@@ -609,6 +650,7 @@ def run_sharded_stream(
     verify_every: int = 0,
     checkpoint: Optional[CheckpointConfig] = None,
     use_processes: bool = True,
+    profile: bool = False,
 ) -> StreamSummary:
     """Maintain a certified cover with partition-parallel shard workers.
 
@@ -709,6 +751,7 @@ def run_sharded_stream(
         weights=graph.weights,
         cover=cover,
         loads=np.zeros(graph.n, dtype=np.float64),
+        profile=profile,
     )
     try:
         if graph.m:
@@ -734,6 +777,7 @@ def resume_sharded_stream(
     updates=None,
     solver: Optional[BatchSolver] = None,
     use_processes: bool = True,
+    profile: bool = False,
 ) -> StreamSummary:
     """Resume a checkpointed sharded stream after a crash (or completion).
 
@@ -849,6 +893,7 @@ def resume_sharded_stream(
             dual_value=dual_value,
             base_ratio=base_ratio,
             batches_applied=batches_applied,
+            profile=profile,
         )
         engine_.restore_counters(extra)
         resumed_from = next_index

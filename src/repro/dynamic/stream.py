@@ -109,6 +109,13 @@ class CheckpointConfig:
         survives process kills (buffers are flushed per batch).
     compress:
         gzip-wrap snapshots (``snapshot.npz.gz``).
+    snapshot_compression:
+        Compression of the NPZ array members inside a snapshot:
+        ``"gzip"`` (deflate via ``np.savez_compressed``, the default) or
+        ``"none"`` (store-only ``np.savez``).  Deflate dominates snapshot
+        wall clock on large graphs; ``"none"`` trades file size for write
+        speed.  Recorded in ``config.json`` so a resumed run keeps the
+        same policy.
     stamp_digests:
         Stamp each WAL record with the pre-apply graph content digest so
         replay verifies, record by record, that it rebuilds the exact
@@ -135,6 +142,7 @@ class CheckpointConfig:
     stamp_digests: bool = True
     keep_snapshots: int = 1
     compact_wal: bool = False
+    snapshot_compression: str = "gzip"
 
     def __post_init__(self):
         if self.snapshot_every < 1:
@@ -145,6 +153,16 @@ class CheckpointConfig:
             raise ValueError(
                 f"keep_snapshots must be >= 1, got {self.keep_snapshots}"
             )
+        if self.snapshot_compression not in ("gzip", "none"):
+            raise ValueError(
+                f"snapshot_compression must be 'gzip' or 'none', got "
+                f"{self.snapshot_compression!r}"
+            )
+
+    @property
+    def compress_arrays(self) -> bool:
+        """True iff snapshot NPZ members are deflate-compressed."""
+        return self.snapshot_compression != "none"
 
     @property
     def config_path(self) -> str:
@@ -203,7 +221,12 @@ class CheckpointConfig:
 
 @dataclass(frozen=True)
 class StreamRecord:
-    """One processed batch: maintainer report + policy outcome + timing."""
+    """One processed batch: maintainer report + policy outcome + timing.
+
+    ``kernel_profile`` (``--profile`` runs only) is this batch's kernel
+    timing breakdown — repair / prune / adjacency / certificate seconds —
+    so per-batch regressions are attributable, not just wall clock.
+    """
 
     batch_index: int
     report: BatchReport
@@ -212,6 +235,7 @@ class StreamRecord:
     resolve_cache_hit: bool
     certified_ratio_after: float
     elapsed_s: float
+    kernel_profile: Optional[dict] = None
 
     def summary(self) -> dict:
         """Flat JSON-friendly row (one line of ``repro stream --out``)."""
@@ -226,6 +250,10 @@ class StreamRecord:
                 "elapsed_s": round(self.elapsed_s, 6),
             }
         )
+        if self.kernel_profile is not None:
+            row["kernel_profile"] = {
+                k: round(v, 6) for k, v in self.kernel_profile.items()
+            }
         return row
 
 
@@ -245,6 +273,17 @@ class StreamSummary:
     (the incremental path), and time spent in triggered full re-solves.
     The three do not sum to ``elapsed_s`` — verification, snapshots and
     bookkeeping are outside all three buckets.
+
+    ``kernel_profile`` (``profile=True`` runs only) splits ``repair_s``
+    further by kernel: adjacency maintenance, pricing repair, greedy
+    prune, and certificate computation, summed over every batch.  In
+    *sharded* runs the buckets follow the two-round protocol: the whole
+    shard apply round (local adjacency updates + uncovered detection)
+    plus the coordinator's effects replay land in ``adjacency_s``,
+    ``repair_s`` is the coordinator's merged pricing pass only, and
+    ``prune_s`` covers round 2 (shard-local interior prunes + the
+    boundary prune) — compare profiles across shard counts with that in
+    mind.
     """
 
     num_updates: int
@@ -262,6 +301,7 @@ class StreamSummary:
     ingest_s: float = 0.0
     repair_s: float = 0.0
     resolve_s: float = 0.0
+    kernel_profile: Optional[dict] = None
 
     def summary(self) -> dict:
         """Scalar JSON-friendly summary (the ``repro stream`` footer)."""
@@ -279,6 +319,10 @@ class StreamSummary:
             "repair_s": round(self.repair_s, 6),
             "resolve_s": round(self.resolve_s, 6),
         }
+        if self.kernel_profile is not None:
+            row["kernel_profile"] = {
+                k: round(v, 6) for k, v in self.kernel_profile.items()
+            }
         if self.resumed_from_batch is not None:
             row["resumed_from_batch"] = self.resumed_from_batch
         return row
@@ -389,6 +433,7 @@ class _StreamEngine:
             self.maintainer,
             extra=self.counters(next_batch_index),
             fsync=checkpoint.fsync,
+            compress_arrays=checkpoint.compress_arrays,
         )
         retained_floor = next_batch_index
         if checkpoint.keep_snapshots > 1:
@@ -440,6 +485,7 @@ class _StreamEngine:
             resolve_cache_hit=hit,
             certified_ratio_after=self.maintainer.certified_ratio(),
             elapsed_s=time.perf_counter() - t0,
+            kernel_profile=self.maintainer.last_batch_profile,
         )
         self.records.append(record)
         if (
@@ -474,6 +520,7 @@ class _StreamEngine:
             ingest_s=self.ingest_s,
             repair_s=self.repair_s,
             resolve_s=self.resolve_s,
+            kernel_profile=self.maintainer.kernel_profile,
         )
 
 
@@ -506,6 +553,7 @@ def _write_config(
         "compress": bool(checkpoint.compress),
         "keep_snapshots": int(checkpoint.keep_snapshots),
         "compact_wal": bool(checkpoint.compact_wal),
+        "snapshot_compression": str(checkpoint.snapshot_compression),
         "num_updates": len(updates),
         "graph_digest": graph.content_digest(),
         "snapshot_file": os.path.basename(checkpoint.snapshot_path),
@@ -550,6 +598,7 @@ def run_stream(
     verify_every: int = 0,
     compact_fraction: float = 0.25,
     checkpoint: Optional[CheckpointConfig] = None,
+    profile: bool = False,
 ) -> StreamSummary:
     """Maintain a certified cover over ``graph`` while replaying ``updates``.
 
@@ -582,6 +631,10 @@ def run_stream(
         snapshot periodically into ``checkpoint.directory`` so a killed
         process can be picked up by :func:`resume_stream` at the exact
         state it died in.
+    profile:
+        Collect the per-batch kernel timing breakdown (repair / prune /
+        adjacency / certificate) into every record and the summary's
+        ``kernel_profile`` (``repro stream --profile``).
 
     Raises
     ------
@@ -613,7 +666,7 @@ def run_stream(
 
     start = time.perf_counter()
     dyn = DynamicGraph(graph, compact_fraction=compact_fraction)
-    maintainer = IncrementalCoverMaintainer(dyn)
+    maintainer = IncrementalCoverMaintainer(dyn, profile=profile)
     wal = (
         WriteAheadLog(checkpoint.wal_path, fsync=checkpoint.fsync)
         if checkpoint is not None
@@ -669,6 +722,7 @@ def _resume_setup(
         stamp_digests=bool(config.get("stamp_digests", True)),
         keep_snapshots=int(config.get("keep_snapshots", 1)),
         compact_wal=bool(config.get("compact_wal", False)),
+        snapshot_compression=str(config.get("snapshot_compression", "gzip")),
     )
     policy = ResolvePolicy(**config["policy"])
     batch_size = int(config["batch_size"])
@@ -749,6 +803,7 @@ def resume_stream(
     *,
     updates: Optional[Sequence[GraphUpdate]] = None,
     solver: Optional[BatchSolver] = None,
+    profile: bool = False,
 ) -> StreamSummary:
     """Resume a checkpointed stream after a crash (or completion).
 
@@ -810,6 +865,7 @@ def resume_stream(
         restored = _restore_latest_snapshot(checkpoint)
         if restored is not None:
             maintainer = restored.maintainer
+            maintainer.set_profiling(profile)
             restored.dyn.compact_fraction = float(config["compact_fraction"])
             extra = restored.meta.get("extra", {})
             next_index = int(extra.get("next_batch_index", 0))
@@ -838,7 +894,7 @@ def resume_stream(
             dyn = DynamicGraph(
                 graph, compact_fraction=float(config["compact_fraction"])
             )
-            maintainer = IncrementalCoverMaintainer(dyn)
+            maintainer = IncrementalCoverMaintainer(dyn, profile=profile)
             extra = {}
             next_index = 0
             cold_start = True

@@ -79,7 +79,13 @@ class TestQueries:
     def test_neighbors_reflect_delta(self, dyn_path4):
         dyn_path4.apply(EdgeDelete(1, 2))
         dyn_path4.apply(EdgeInsert(1, 3))
-        assert dyn_path4.neighbors(1) == {0, 3}
+        assert set(dyn_path4.neighbors(1).tolist()) == {0, 3}
+
+    def test_neighbors_is_a_flat_int_array(self, dyn_path4):
+        neigh = dyn_path4.neighbors(1)
+        assert isinstance(neigh, np.ndarray)
+        assert neigh.dtype == np.int64
+        assert set(neigh.tolist()) == {0, 2}
 
     def test_degree_reflects_delta(self, dyn_path4):
         assert dyn_path4.degree(1) == 2
@@ -87,6 +93,20 @@ class TestQueries:
         assert dyn_path4.degree(1) == 3
         dyn_path4.apply(EdgeDelete(0, 1))
         assert dyn_path4.degree(1) == 2
+
+    def test_degrees_of_matches_degree(self, dyn_path4):
+        dyn_path4.apply(EdgeInsert(0, 3))
+        ids = np.arange(4)
+        expect = [dyn_path4.degree(v) for v in range(4)]
+        assert dyn_path4.degrees_of(ids).tolist() == expect
+
+    def test_has_edges_matches_has_edge(self, dyn_path4):
+        dyn_path4.apply(EdgeDelete(1, 2))
+        dyn_path4.apply(EdgeInsert(0, 3))
+        pairs = [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2), (1, 3)]
+        arr = np.asarray(pairs, dtype=np.int64)
+        got = dyn_path4.has_edges(arr[:, 0], arr[:, 1])
+        assert got.tolist() == [dyn_path4.has_edge(u, v) for u, v in pairs]
 
     def test_neighbors_match_materialized(self):
         base = gnp_average_degree(60, 5.0, seed=0)
@@ -102,8 +122,13 @@ class TestQueries:
                 dyn.apply(EdgeDelete(int(u), int(v)))
         mat = dyn.materialize()
         for v in range(60):
-            assert dyn.neighbors(v) == set(int(x) for x in mat.neighbors(v))
+            assert set(dyn.neighbors(v).tolist()) == set(
+                int(x) for x in mat.neighbors(v)
+            )
             assert dyn.degree(v) == int(mat.degrees[v])
+        eu, ev = mat.edges_u, mat.edges_v
+        assert dyn.has_edges(eu, ev).all()
+        assert dyn.degrees_of(np.arange(60)).tolist() == mat.degrees.tolist()
 
 
 class TestMaterializeCompact:

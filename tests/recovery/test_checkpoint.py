@@ -179,14 +179,14 @@ class TestIntegrityGates:
         save_snapshot(path, streamed_maintainer)
         with np.load(path, allow_pickle=False) as archive:
             members = {name: archive[name] for name in archive.files}
-        keys = members["dual_keys"].copy()
-        assert keys.size, "fixture must carry duals"
+        codes = members["dual_codes"].copy()
+        assert codes.size, "fixture must carry duals"
         dyn = streamed_maintainer.dyn
         # Find a non-edge pair to point the first dual at.
         u = 0
         v = next(x for x in range(1, dyn.n) if not dyn.has_edge(u, x))
-        keys[0] = (u, v)
-        members["dual_keys"] = keys
+        codes[0] = (u << 32) | v
+        members["dual_codes"] = codes
         meta = json.loads(bytes(members["meta_json"]).decode("utf-8"))
         meta.pop("content_digest")
         arrays = {k: v for k, v in members.items() if k != "meta_json"}

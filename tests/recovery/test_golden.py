@@ -3,8 +3,10 @@
 The fixtures under ``tests/recovery/data/`` were written by
 ``make_golden.py`` with format version 1.  These tests pin the wire
 formats: they fail if a change to the snapshot or WAL layout slips in
-without a version bump, and they exercise the two rejection paths a
-version-1 reader must keep forever (future version, digest mismatch).
+without a version bump, and they exercise the rejection paths a reader
+must keep forever (future version, digest mismatch) plus the version-1 →
+version-2 migration (v2 stores ``dual_codes``; v1 files with two-column
+``dual_keys`` must keep loading bit-exactly).
 """
 
 import io
@@ -22,8 +24,10 @@ from repro.dynamic import (
     read_wal,
 )
 from repro.dynamic.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
     CheckpointCorruptionError,
     CheckpointVersionError,
+    _ARRAY_FIELDS_V1,
     _digest,
     load_snapshot,
     save_snapshot,
@@ -65,22 +69,45 @@ class TestGoldenSnapshot:
         assert again.meta["extra"] == original.meta["extra"]
         assert again.meta["graph_digest"] == original.meta["graph_digest"]
 
+    def test_v1_fixture_migrates_to_current_dual_codes_layout(self, tmp_path):
+        # The golden fixture is format 1 (two-column dual_keys); loading
+        # it and re-saving must produce the current format (flat encoded
+        # dual_codes) with bit-identical maintainer state.
+        original = load_snapshot(GOLDEN_SNAPSHOT)
+        assert original.meta["format_version"] == 1
+        path = tmp_path / "migrated.npz"
+        save_snapshot(path, original.maintainer, extra=original.meta["extra"])
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+            assert meta["format_version"] == CHECKPOINT_FORMAT_VERSION
+            assert "dual_codes" in archive.files
+            assert "dual_keys" not in archive.files
+            codes = archive["dual_codes"]
+        assert [((c >> 32), c & 0xFFFFFFFF) for c in codes.tolist()] == sorted(
+            original.maintainer.edge_duals()
+        )
+        migrated = load_snapshot(path)
+        assert_same_state(original.maintainer, migrated.maintainer)
+
     def test_bumped_format_version_is_rejected(self, tmp_path):
+        # A *future* version (one past everything this build reads) must
+        # be rejected even when the file is otherwise self-consistent.
+        future = CHECKPOINT_FORMAT_VERSION + 1
         path = tmp_path / "bumped.npz"
         with np.load(GOLDEN_SNAPSHOT, allow_pickle=False) as archive:
             members = {name: archive[name] for name in archive.files}
         meta = json.loads(bytes(members["meta_json"]).decode("utf-8"))
-        meta["format_version"] = 2
+        meta["format_version"] = future
         meta.pop("content_digest")
         arrays = {k: v for k, v in members.items() if k != "meta_json"}
-        meta["content_digest"] = _digest(meta, arrays)
+        meta["content_digest"] = _digest(meta, arrays, _ARRAY_FIELDS_V1)
         members["meta_json"] = np.frombuffer(
             json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
         )
         buf = io.BytesIO()
         np.savez_compressed(buf, **members)
         path.write_bytes(buf.getvalue())
-        with pytest.raises(CheckpointVersionError, match="version 2"):
+        with pytest.raises(CheckpointVersionError, match=f"version {future}"):
             load_snapshot(path)
 
     def test_embedded_digest_mismatch_is_rejected(self, tmp_path):
